@@ -1,0 +1,55 @@
+// Figure 11: the Tier 2-only rollout.
+//
+// Securing Y in {13, 26, 50, 100} Tier 2s (plus their stubs) but *no* Tier
+// 1s. Paper: the metric grows more slowly than in the T1+T2 rollout and
+// sec 1st gains shrink (its biggest wins were T1 destinations), so the gap
+// between security 1st and 2nd narrows.
+#include <iostream>
+
+#include "support.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto ctx = bench::make_context(argc, argv);
+  bench::print_banner(
+      ctx, "Figure 11: Tier 2-only rollout (non-stub attackers M')",
+      "smaller sec 1st gains than the T1+T2 rollout; narrower 1st-vs-2nd gap");
+
+  const auto baseline = sim::estimate_metric(
+      ctx.graph(), ctx.attackers, ctx.destinations,
+      routing::SecurityModel::kInsecure,
+      routing::Deployment(ctx.graph().num_ases()));
+  std::cout << "baseline H_{M',V}(empty) = [" << util::pct(baseline.lower)
+            << ", " << util::pct(baseline.upper) << "]\n\n";
+
+  const auto steps = deployment::t2_rollout(ctx.graph(), ctx.tiers,
+                                            deployment::StubMode::kFullSbgp);
+  util::Table table({"step", "secure ASes", "model", "dH lower", "dH upper"});
+  double first_gain = 0.0;
+  double second_gain = 0.0;
+  for (const auto& step : steps) {
+    for (const auto model : routing::kAllSecurityModels) {
+      const auto h = sim::estimate_metric(ctx.graph(), ctx.attackers,
+                                          ctx.destinations, model,
+                                          step.deployment);
+      table.add_row({step.label, std::to_string(step.total_secure),
+                     bench::short_model(model),
+                     util::pct(h.lower - baseline.lower),
+                     util::pct(h.upper - baseline.upper)});
+      if (&step == &steps.back()) {
+        if (model == routing::SecurityModel::kSecurityFirst) {
+          first_gain = h.lower - baseline.lower;
+        }
+        if (model == routing::SecurityModel::kSecuritySecond) {
+          second_gain = h.lower - baseline.lower;
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nsec1st-vs-sec2nd gap at the last step: "
+            << util::pct(first_gain - second_gain)
+            << "  (paper: smaller than in the T1+T2 rollout)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 13: the fate of secure routes to each content provider during
+// attacks.
+//
+// S = the Tier 1s, the CPs, and all their stubs; security 3rd; averaged
+// over non-stub attackers. Per CP destination: the fraction of sources
+// holding secure routes in normal conditions, split into (1) routes lost
+// to protocol downgrades, (2) secure routes kept by immune sources, (3)
+// the remainder. Paper: most secure routes are lost to downgrades, and
+// almost all surviving ones belong to sources that were immune anyway —
+// i.e. the deployment buys almost nothing.
+#include <iostream>
+
+#include "security/downgrade.h"
+#include "sim/parallel.h"
+#include "support.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sbgp;
+
+void run(const topology::AsGraph& g, const bench::BenchContext& ctx,
+         const std::vector<routing::AsId>& cps,
+         const routing::Deployment& dep, const std::string& label,
+         bool per_cp_rows) {
+  std::cout << "\n--- " << label << " ---\n";
+  util::Table table({"CP dest", "secure routes (normal)", "downgraded",
+                     "kept+immune", "kept+other"});
+  security::DowngradeStats grand;
+  for (const auto cp : cps) {
+    std::vector<security::DowngradeStats> per(ctx.attackers.size());
+    sim::parallel_for(ctx.attackers.size(), [&](std::size_t i) {
+      if (ctx.attackers[i] == cp) return;
+      per[i] = security::analyze_downgrades(
+          g, cp, ctx.attackers[i], routing::SecurityModel::kSecurityThird,
+          dep);
+    });
+    security::DowngradeStats total;
+    for (const auto& s : per) total += s;
+    grand += total;
+    if (per_cp_rows && total.sources > 0) {
+      const double n = static_cast<double>(total.sources);
+      table.add_row({"AS " + std::to_string(cp),
+                     util::pct(static_cast<double>(total.secure_normal) / n),
+                     util::pct(static_cast<double>(total.downgraded) / n),
+                     util::pct(static_cast<double>(total.kept_and_immune) / n),
+                     util::pct(static_cast<double>(total.secure_kept -
+                                                   total.kept_and_immune) /
+                               n)});
+    }
+  }
+  if (per_cp_rows) table.print(std::cout);
+  const double n = static_cast<double>(std::max<std::size_t>(1, grand.sources));
+  std::cout << "aggregate: secure(normal)="
+            << util::pct(static_cast<double>(grand.secure_normal) / n)
+            << "  downgraded="
+            << util::pct(static_cast<double>(grand.downgraded) / n)
+            << "  kept+immune="
+            << util::pct(static_cast<double>(grand.kept_and_immune) / n)
+            << "  kept+other="
+            << util::pct(static_cast<double>(grand.secure_kept -
+                                             grand.kept_and_immune) /
+                         n)
+            << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::make_context(argc, argv);
+  bench::print_banner(
+      ctx,
+      "Figure 13: secure routes to CP destinations under attack (sec 3rd)",
+      "most secure routes are lost to protocol downgrades; nearly all "
+      "survivors belong to immune sources");
+
+  const auto dep =
+      deployment::t1_and_stubs(ctx.graph(), ctx.tiers, /*include_cps=*/true,
+                               deployment::StubMode::kFullSbgp);
+  const auto& cps = ctx.tiers.bucket(topology::Tier::kContentProvider);
+  run(ctx.graph(), ctx, cps, dep, "base graph (Figure 13)", true);
+
+  // Appendix J / Figure 21: same computation on the IXP-augmented graph.
+  const auto ixp = bench::make_ixp_graph(ctx);
+  const auto tiers_ixp =
+      topology::classify_tiers(ixp, ctx.topo.content_providers);
+  const auto dep_ixp = deployment::t1_and_stubs(
+      ixp, tiers_ixp, /*include_cps=*/true, deployment::StubMode::kFullSbgp);
+  run(ixp, ctx, cps, dep_ixp,
+      "IXP-augmented graph (Appendix J, Figure 21) - aggregate only", false);
+  return 0;
+}

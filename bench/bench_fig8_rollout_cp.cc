@@ -1,0 +1,46 @@
+// Figure 8: the Tier 1 + Tier 2 + content-provider rollout, measured on
+// content-provider destinations only.
+//
+// Much of the Internet's traffic originates at the CPs, so the paper
+// examines H_{M',CP}(S) with all CPs secure at every rollout step.
+// Paper: improvements of at least ~26% / 9.4% / 4% for security 1st / 2nd
+// / 3rd at the last step; CP destinations start from a higher baseline of
+// happy sources than average destinations.
+#include <iostream>
+
+#include "support.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto ctx = bench::make_context(argc, argv);
+  bench::print_banner(
+      ctx, "Figure 8: Tier 1 + Tier 2 + CP rollout, CP destinations",
+      "last step: >= ~26% (sec 1st), ~9.4% (2nd), ~4% (3rd); CPs enjoy an "
+      "above-average baseline");
+
+  const auto& cps = ctx.tiers.bucket(topology::Tier::kContentProvider);
+  const auto baseline = sim::estimate_metric(
+      ctx.graph(), ctx.attackers, cps, routing::SecurityModel::kInsecure,
+      routing::Deployment(ctx.graph().num_ases()));
+  std::cout << "baseline H_{M',CP}(empty) = [" << util::pct(baseline.lower)
+            << ", " << util::pct(baseline.upper) << "]\n\n";
+
+  const auto steps = deployment::t1_t2_cp_rollout(
+      ctx.graph(), ctx.tiers, deployment::StubMode::kFullSbgp);
+  util::Table table({"step", "secure ASes", "model", "dH lower", "dH upper"});
+  for (const auto& step : steps) {
+    for (const auto model : routing::kAllSecurityModels) {
+      const auto h = sim::estimate_metric(ctx.graph(), ctx.attackers, cps,
+                                          model, step.deployment);
+      table.add_row({step.label, std::to_string(step.total_secure),
+                     bench::short_model(model),
+                     util::pct(h.lower - baseline.lower),
+                     util::pct(h.upper - baseline.upper)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected ordering at every step: sec 1st > sec 2nd > sec "
+               "3rd, with sec 3rd close to zero.\n";
+  return 0;
+}

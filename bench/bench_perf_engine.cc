@@ -1,0 +1,127 @@
+// Performance micro-benchmarks (google-benchmark).
+//
+// The paper's methodology hinges on computing routing outcomes for huge
+// numbers of (attacker, destination, deployment) triples (Appendix B/H
+// used MPI on a BlueGene). These benchmarks document the per-outcome cost
+// of the staged engine and its supporting analyses as a function of graph
+// size, plus the thread-scaling of the metric estimator.
+#include <benchmark/benchmark.h>
+
+#include "deployment/scenario.h"
+#include "routing/baseline.h"
+#include "routing/engine.h"
+#include "routing/reach.h"
+#include "security/partition.h"
+#include "sim/runner.h"
+#include "topology/generator.h"
+
+namespace {
+
+using namespace sbgp;
+
+const topology::GeneratedTopology& topo_for(std::int64_t n) {
+  static auto t1k = topology::generate_small_internet(1000, 1);
+  static auto t4k = [] {
+    topology::GeneratorParams p;
+    p.num_ases = 4000;
+    return topology::generate_internet(p);
+  }();
+  static auto t10k = [] {
+    topology::GeneratorParams p;
+    p.num_ases = 10'000;
+    return topology::generate_internet(p);
+  }();
+  if (n <= 1000) return t1k;
+  if (n <= 4000) return t4k;
+  return t10k;
+}
+
+routing::Deployment half_secure(const topology::AsGraph& g) {
+  routing::Deployment dep(g.num_ases());
+  for (topology::AsId v = 0; v < g.num_ases(); v += 2) dep.secure.insert(v);
+  return dep;
+}
+
+void BM_RoutingOutcome(benchmark::State& state) {
+  const auto& topo = topo_for(state.range(0));
+  const auto dep = half_secure(topo.graph);
+  const auto model = static_cast<routing::SecurityModel>(state.range(1));
+  topology::AsId d = 0;
+  const auto n = static_cast<topology::AsId>(topo.graph.num_ases());
+  for (auto _ : state) {
+    const routing::Query q{d, static_cast<topology::AsId>((d + 7) % n), model};
+    benchmark::DoNotOptimize(routing::compute_routing(topo.graph, q, dep));
+    d = (d + 13) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RoutingOutcome)
+    ->ArgsProduct({{1000, 4000, 10000}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PerceivableDistances(benchmark::State& state) {
+  const auto& topo = topo_for(state.range(0));
+  topology::AsId d = 0;
+  const auto n = static_cast<topology::AsId>(topo.graph.num_ases());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::perceivable_distances(topo.graph, d));
+    d = (d + 13) % n;
+  }
+}
+BENCHMARK(BM_PerceivableDistances)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionClassification(benchmark::State& state) {
+  const auto& topo = topo_for(state.range(0));
+  const auto model = static_cast<routing::SecurityModel>(state.range(1));
+  topology::AsId d = 0;
+  const auto n = static_cast<topology::AsId>(topo.graph.num_ases());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(security::classify_sources(
+        topo.graph, d, static_cast<topology::AsId>((d + 7) % n), model));
+    d = (d + 13) % n;
+  }
+}
+BENCHMARK(BM_PartitionClassification)
+    ->ArgsProduct({{10000}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LpkBaseline(benchmark::State& state) {
+  const auto& topo = topo_for(10000);
+  topology::AsId d = 0;
+  const auto n = static_cast<topology::AsId>(topo.graph.num_ases());
+  const auto lp = routing::LocalPrefPolicy::lp_k(
+      static_cast<std::uint16_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::compute_baseline(
+        topo.graph, d, static_cast<topology::AsId>((d + 7) % n), lp));
+    d = (d + 13) % n;
+  }
+}
+BENCHMARK(BM_LpkBaseline)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_MetricEstimation(benchmark::State& state) {
+  // End-to-end cost of one H_{M,D}(S) estimate with the given thread count.
+  const auto& topo = topo_for(10000);
+  const auto dep = half_secure(topo.graph);
+  const auto attackers =
+      sim::sample_ases(sim::non_stub_ases(topo.graph), 12, 3);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 12, 4);
+  sim::RunnerOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::estimate_metric(topo.graph, attackers, dests,
+                             routing::SecurityModel::kSecurityThird, dep,
+                             opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * attackers.size() *
+                                dests.size()));
+}
+BENCHMARK(BM_MetricEstimation)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Section 8 extensions: evaluating the paper's proposed fixes.
+//
+// The conclusion sketches two ideas for rescuing partial deployments whose
+// operators will not rank security 1st:
+//  1. *hysteresis* — do not drop a working secure route when a "better"
+//     insecure route appears (kills protocol downgrades by construction);
+//  2. *islands* — groups of secure ASes that agree to rank security 1st
+//     for routes between island members. Because secure routes exist only
+//     toward secure destinations, and SecP placement is vacuous when no
+//     secure route exists, island-wide security-1st is exactly the
+//     security 1st model evaluated at secure destinations — no separate
+//     machinery needed.
+// This bench quantifies both against the plain models on the T1+T2
+// deployment, answering: how much of the security-1st juice can each fix
+// recover without asking operators to re-rank their economics?
+#include <iostream>
+
+#include "routing/engine.h"
+#include "security/happiness.h"
+#include "sim/parallel.h"
+#include "support.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sbgp;
+
+security::MetricBounds metric_with(
+    const bench::BenchContext& ctx, const routing::Deployment& dep,
+    routing::SecurityModel model, bool hysteresis,
+    const std::vector<routing::AsId>& dests) {
+  struct Pair {
+    routing::AsId m, d;
+  };
+  std::vector<Pair> pairs;
+  for (const auto m : ctx.attackers) {
+    for (const auto d : dests) {
+      if (m != d) pairs.push_back({m, d});
+    }
+  }
+  std::vector<security::MetricBounds> per(pairs.size());
+  sim::parallel_for(pairs.size(), [&](std::size_t i) {
+    const routing::Query q{pairs[i].d, pairs[i].m, model};
+    const auto out = hysteresis
+                         ? routing::compute_routing_with_hysteresis(
+                               ctx.graph(), q, dep)
+                         : routing::compute_routing(ctx.graph(), q, dep);
+    const auto c = security::count_happy(out, pairs[i].d, pairs[i].m);
+    per[i] = {c.lower_fraction(), c.upper_fraction()};
+  });
+  security::MetricBounds total;
+  for (const auto& b : per) total += b;
+  total /= static_cast<double>(per.size());
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::make_context(argc, argv);
+  bench::print_banner(
+      ctx, "Section 8 extensions: hysteresis and security islands",
+      "downgrades cause most negative results; a fix that prevents them "
+      "should recover much of the security-1st protection");
+
+  const auto rollout = deployment::t1_t2_rollout(
+      ctx.graph(), ctx.tiers, deployment::StubMode::kFullSbgp);
+  const auto& dep = rollout.back().deployment;
+  const auto baseline =
+      sim::estimate_metric(ctx.graph(), ctx.attackers, ctx.destinations,
+                           routing::SecurityModel::kInsecure,
+                           routing::Deployment(ctx.graph().num_ases()));
+  std::cout << "S = T1s + T2s + stubs; baseline H(empty) = ["
+            << util::pct(baseline.lower) << ", " << util::pct(baseline.upper)
+            << "]\n\n--- hysteresis vs plain, all destinations ---\n";
+
+  util::Table table({"model", "plain dH", "with hysteresis dH",
+                     "gap to sec 1st closed"});
+  const auto first =
+      metric_with(ctx, dep, routing::SecurityModel::kSecurityFirst, false,
+                  ctx.destinations);
+  for (const auto model : {routing::SecurityModel::kSecuritySecond,
+                           routing::SecurityModel::kSecurityThird}) {
+    const auto plain = metric_with(ctx, dep, model, false, ctx.destinations);
+    const auto sticky = metric_with(ctx, dep, model, true, ctx.destinations);
+    const double gap = first.lower - plain.lower;
+    const double closed = sticky.lower - plain.lower;
+    table.add_row({bench::short_model(model),
+                   util::pct(plain.lower - baseline.lower),
+                   util::pct(sticky.lower - baseline.lower),
+                   gap > 0 ? util::pct(closed / gap) : "-"});
+  }
+  table.add_row({"sec 1st (reference)",
+                 util::pct(first.lower - baseline.lower), "-", "-"});
+  table.print(std::cout);
+
+  std::cout << "\n--- security islands (secure destinations only) ---\n"
+            << "For d in S the island agreement IS the security 1st model "
+               "(SecP placement is vacuous when no secure route exists):\n";
+  const auto island_dests = sim::sample_ases(dep.secure.members(), ctx.sample,
+                                             bench::kSampleSeed + 77);
+  util::Table island({"policy for island routes", "H over d in S (lower)"});
+  const auto base_island = sim::estimate_metric(
+      ctx.graph(), ctx.attackers, island_dests,
+      routing::SecurityModel::kInsecure,
+      routing::Deployment(ctx.graph().num_ases()));
+  island.add_row({"origin auth only", util::pct(base_island.lower)});
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto h = metric_with(ctx, dep, model, false, island_dests);
+    island.add_row({bench::short_model(model), util::pct(h.lower)});
+  }
+  const auto sticky3 = metric_with(
+      ctx, dep, routing::SecurityModel::kSecurityThird, true, island_dests);
+  island.add_row({"sec 3rd + hysteresis", util::pct(sticky3.lower)});
+  island.print(std::cout);
+  std::cout << "\nreading: the island policy (= sec 1st row) and hysteresis "
+               "both rescue most of what sec 2nd/3rd leave on the table.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 1 + Section 2.3: BGP wedgies under inconsistent SecP placement,
+// and Theorem 2.1's uniqueness under consistent placement.
+//
+// Paper: if AS 31283 ranks security 1st while AS 29518 ranks it below LP,
+// the system has two stable states; after the 31027--3 link fails and
+// recovers, routing is stuck in the unintended state. With uniform
+// placement the stable state is unique and failure/recovery is harmless.
+#include <iostream>
+
+#include "security/case_studies.h"
+#include "stability/spp.h"
+#include "stability/wedgie.h"
+#include "support.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sbgp;
+using security::cases::Wedgie;
+
+void print_path(const std::string& label, const std::vector<routing::AsId>& p) {
+  std::cout << "  " << label << ": 31283 ->";
+  const char* names[] = {"AS3(MIT)", "AS31283", "AS29518",
+                         "AS31027", "AS34226", "AS8928"};
+  for (const auto v : p) std::cout << ' ' << names[v];
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto ctx = bench::make_context(argc, argv, /*default_n=*/4000, 16);
+  bench::print_banner(ctx,
+                      "Figure 1 + Theorem 2.1: wedgies and convergence",
+                      "mixed placement: 2 stable states + hysteresis; "
+                      "uniform placement: unique stable state");
+
+  std::cout << "\n--- mixed placement (31283 security 1st, others 3rd) ---\n";
+  const auto report = stability::run_wedgie_scenario();
+  std::cout << "stable states: " << report.num_stable_states
+            << " (paper: 2)\n";
+  std::cout << "intended state reached (secure provider route): "
+            << (report.intended_secure_before ? "yes" : "no") << '\n';
+  print_path("before failure", report.norway_path_before);
+  std::cout << "link 31027--3 fails: 31283 secure? "
+            << (report.secure_during_failure ? "yes" : "no") << '\n';
+  std::cout << "link restored: 31283 secure again? "
+            << (report.secure_after_recovery ? "yes" : "no") << '\n';
+  print_path("after recovery", report.norway_path_after);
+  std::cout << "WEDGED (stuck in unintended state): "
+            << (report.wedged() ? "YES" : "no") << '\n';
+
+  std::cout << "\n--- uniform placement controls ---\n";
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto control = stability::run_uniform_control(model);
+    std::cout << bench::short_model(model) << ": stable states = "
+              << control.num_stable_states
+              << ", wedged = " << (control.wedged() ? "YES" : "no") << '\n';
+  }
+
+  std::cout << "\n--- Theorem 2.1 spot check: stable-state counts on random "
+               "graphs, uniform placement ---\n";
+  util::Rng rng(7);
+  std::size_t graphs = 0;
+  std::size_t unique = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = [&] {
+      topology::AsGraphBuilder b(7);
+      for (routing::AsId v = 1; v < 7; ++v) {
+        const auto want = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+        for (std::uint32_t i = 0; i < want; ++i) {
+          const auto p = static_cast<routing::AsId>(rng.next_below(v));
+          if (!b.has_edge(v, p)) b.add_customer_provider(v, p);
+        }
+      }
+      for (int e = 0; e < 2; ++e) {
+        const auto a = static_cast<routing::AsId>(rng.next_below(7));
+        const auto c = static_cast<routing::AsId>(rng.next_below(7));
+        if (a != c && !b.has_edge(a, c)) b.add_peer_peer(a, c);
+      }
+      return b.build();
+    }();
+    routing::Deployment dep(7);
+    for (routing::AsId v = 0; v < 7; ++v) {
+      if (rng.chance(0.5)) dep.secure.insert(v);
+    }
+    for (const auto model : routing::kAllSecurityModels) {
+      ++graphs;
+      const auto states = stability::enumerate_stable_states(
+          g, routing::Query{0, 5, model}, dep);
+      if (states.size() == 1) ++unique;
+    }
+  }
+  std::cout << unique << "/" << graphs
+            << " (graph, model) instances have exactly one stable state "
+               "(paper: always, Theorem 2.1)\n";
+  return 0;
+}

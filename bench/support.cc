@@ -1,0 +1,71 @@
+#include "support.h"
+
+#include <cstdlib>
+
+namespace sbgp::bench {
+
+BenchContext make_context(int argc, char** argv, std::uint32_t default_n,
+                          std::size_t default_sample) {
+  BenchContext ctx;
+  std::uint32_t n = default_n;
+  ctx.sample = default_sample;
+  if (argc > 1) n = static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  if (argc > 2) {
+    ctx.sample =
+        static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+
+  topology::GeneratorParams params;
+  params.num_ases = n;
+  params.seed = kGraphSeed;
+  if (n < 3000) {
+    // Keep the designated tiers proportionate on small graphs.
+    params.num_tier1 = std::max<std::uint32_t>(5, n / 250);
+    params.num_tier2 = std::max<std::uint32_t>(10, n / 40);
+    params.num_tier3 = std::max<std::uint32_t>(10, n / 40);
+    params.num_content_providers = std::max<std::uint32_t>(3, n / 200);
+  }
+  ctx.topo = topology::generate_internet(params);
+  ctx.tiers = ctx.topo.classify();
+  ctx.attackers = sim::sample_ases(sim::non_stub_ases(ctx.graph()), ctx.sample,
+                                   kSampleSeed);
+  ctx.destinations =
+      sim::sample_ases(sim::all_ases(ctx.graph()), ctx.sample, kSampleSeed + 1);
+  return ctx;
+}
+
+topology::AsGraph make_ixp_graph(const BenchContext& ctx) {
+  topology::IxpParams params;
+  return topology::augment_with_ixps(ctx.graph(), ctx.tiers, params).graph;
+}
+
+void print_banner(const BenchContext& ctx, const std::string& experiment,
+                  const std::string& paper_claim) {
+  const auto stats = topology::compute_stats(ctx.graph());
+  std::cout << "==================================================================\n"
+            << experiment << '\n'
+            << "graph: " << stats.num_ases << " ASes, " << stats.cp_links
+            << " customer-provider links, " << stats.peer_links
+            << " peer links, " << stats.num_stubs << " stubs\n"
+            << "samples: " << ctx.attackers.size() << " attackers (non-stub) x "
+            << ctx.destinations.size() << " destinations\n"
+            << "paper: " << paper_claim << '\n'
+            << "==================================================================\n";
+}
+
+std::string short_model(SecurityModel m) {
+  switch (m) {
+    case SecurityModel::kInsecure: return "baseline";
+    case SecurityModel::kSecurityFirst: return "sec 1st";
+    case SecurityModel::kSecuritySecond: return "sec 2nd";
+    case SecurityModel::kSecurityThird: return "sec 3rd";
+  }
+  return "?";
+}
+
+std::vector<AsId> tier_sample(const BenchContext& ctx, Tier t, std::size_t cap,
+                              std::uint64_t seed) {
+  return sim::sample_ases(ctx.tiers.bucket(t), cap, seed);
+}
+
+}  // namespace sbgp::bench

@@ -1,0 +1,69 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every bench binary builds the same deterministic synthetic Internet
+// (DESIGN.md section 1), classifies tiers, samples attacker/destination
+// sets, and prints results in a uniform format with a "paper:" reference
+// line so the reproduced shape can be compared at a glance.
+//
+// All benches accept optional positional arguments:
+//   argv[1]  number of ASes        (default 8000)
+//   argv[2]  sample size per side  (default 40 attackers x 40 destinations)
+#ifndef SBGP_BENCH_SUPPORT_H
+#define SBGP_BENCH_SUPPORT_H
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "deployment/scenario.h"
+#include "routing/model.h"
+#include "security/partition.h"
+#include "sim/runner.h"
+#include "topology/generator.h"
+#include "topology/ixp.h"
+#include "topology/tier.h"
+
+namespace sbgp::bench {
+
+using routing::AsId;
+using routing::Deployment;
+using routing::SecurityModel;
+using topology::Tier;
+
+inline constexpr std::uint64_t kGraphSeed = 20130812;
+inline constexpr std::uint64_t kSampleSeed = 4242;
+
+struct BenchContext {
+  topology::GeneratedTopology topo;
+  topology::TierInfo tiers;
+  std::vector<AsId> attackers;     // sampled from non-stubs (M')
+  std::vector<AsId> destinations;  // sampled from all ASes
+  std::size_t sample = 40;
+
+  [[nodiscard]] const topology::AsGraph& graph() const { return topo.graph; }
+};
+
+/// Builds the bench topology and samples. Handles argv overrides.
+[[nodiscard]] BenchContext make_context(int argc, char** argv,
+                                        std::uint32_t default_n = 8000,
+                                        std::size_t default_sample = 40);
+
+/// IXP-augmented copy of the context's graph (Appendix J).
+[[nodiscard]] topology::AsGraph make_ixp_graph(const BenchContext& ctx);
+
+/// Prints a bench banner with the experiment id and graph shape.
+void print_banner(const BenchContext& ctx, const std::string& experiment,
+                  const std::string& paper_claim);
+
+/// "sec 1st" / "sec 2nd" / "sec 3rd" short label.
+[[nodiscard]] std::string short_model(SecurityModel m);
+
+/// Members of one tier, sampled down to at most `cap`.
+[[nodiscard]] std::vector<AsId> tier_sample(const BenchContext& ctx, Tier t,
+                                            std::size_t cap,
+                                            std::uint64_t seed);
+
+}  // namespace sbgp::bench
+
+#endif  // SBGP_BENCH_SUPPORT_H

@@ -1,0 +1,96 @@
+// Collateral phenomena: how securing OTHER ASes changes the fate of ASes
+// that never deployed anything (Section 6.1, Figures 14, 15, 17).
+//
+// Three reconstructed mechanisms:
+//   1. damage via longer secure routes (Fig 14, AS 52142's fate);
+//   2. benefit via secure tie-breaks and route changes (Figs 14/15);
+//   3. damage via the export rule (Fig 17, AS 4805's fate, security 1st).
+#include <iostream>
+
+#include "routing/engine.h"
+#include "security/case_studies.h"
+
+namespace {
+
+using namespace sbgp;
+using routing::HappyStatus;
+
+const char* status(HappyStatus s) {
+  switch (s) {
+    case HappyStatus::kHappy: return "happy (reaches the destination)";
+    case HappyStatus::kUnhappy: return "UNHAPPY (hijacked)";
+    case HappyStatus::kEither: return "on the tie-break knife edge";
+    case HappyStatus::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using security::cases::CollateralBenefitStrict;
+  using security::cases::CollateralDamage;
+  using security::cases::ExportDamage;
+
+  {
+    std::cout << "=== 1. Collateral damage via a longer secure route "
+                 "(Figure 14 mechanism, security 2nd) ===\n";
+    const auto g = CollateralDamage::graph();
+    const routing::Query q{CollateralDamage::kD, CollateralDamage::kM,
+                           routing::SecurityModel::kSecuritySecond};
+    const auto before = routing::compute_routing(g, q, {});
+    const auto after =
+        routing::compute_routing(g, q, CollateralDamage::deployment());
+    std::cout << "victim v (insecure, dual-homed):\n"
+              << "  before any deployment: " << status(before.happy(CollateralDamage::kV))
+              << " via a " << before.length(CollateralDamage::kV) << "-hop route\n"
+              << "  after P1 secures and picks its 5-hop secure route: "
+              << status(after.happy(CollateralDamage::kV))
+              << " (the bogus 4-hop route now looks shorter)\n"
+              << "  => securing P1 HARMED its innocent customer.\n\n";
+    const auto third = routing::compute_routing(
+        g, {CollateralDamage::kD, CollateralDamage::kM,
+            routing::SecurityModel::kSecurityThird},
+        CollateralDamage::deployment());
+    std::cout << "same deployment under security 3rd: "
+              << status(third.happy(CollateralDamage::kV))
+              << "  (Theorem 6.1: the 3rd model is monotone)\n\n";
+  }
+
+  {
+    std::cout << "=== 2. Collateral benefit (Figure 14's AS 5166 mechanism, "
+                 "security 2nd) ===\n";
+    const auto g = CollateralBenefitStrict::graph();
+    const routing::Query q{CollateralBenefitStrict::kD,
+                           CollateralBenefitStrict::kM,
+                           routing::SecurityModel::kSecuritySecond};
+    const auto before = routing::compute_routing(g, q, {});
+    const auto after = routing::compute_routing(
+        g, q, CollateralBenefitStrict::deployment());
+    std::cout << "insecure customer cb of transit AS x:\n"
+              << "  before: " << status(before.happy(CollateralBenefitStrict::kCb))
+              << "\n  after x and c secure: "
+              << status(after.happy(CollateralBenefitStrict::kCb))
+              << "\n  => cb was rescued without deploying anything.\n\n";
+  }
+
+  {
+    std::cout << "=== 3. Export-rule damage (Figure 17 mechanism, security "
+                 "1st) ===\n";
+    const auto g = ExportDamage::graph();
+    const routing::Query q{ExportDamage::kD, ExportDamage::kM,
+                           routing::SecurityModel::kSecurityFirst};
+    const auto before = routing::compute_routing(g, q, {});
+    const auto after =
+        routing::compute_routing(g, q, ExportDamage::deployment());
+    std::cout << "Orange (AS 4805 role, insecure, peers with Optus):\n"
+              << "  before: " << status(before.happy(ExportDamage::kOrange))
+              << " via Optus's exported customer route\n"
+              << "  after Optus secures and moves to a secure PROVIDER "
+                 "route (not exportable to peers): "
+              << status(after.happy(ExportDamage::kOrange))
+              << "\n  => even the security-1st model can hurt bystanders "
+                 "through the export rule (Appendix A).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small synthetic Internet, attack a destination, and
+// measure how much partially-deployed S*BGP helps under each routing model.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "deployment/scenario.h"
+#include "routing/engine.h"
+#include "sim/runner.h"
+#include "topology/generator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sbgp;
+
+  // 1. A deterministic Internet-like AS topology (~2000 ASes).
+  const auto topo = topology::generate_small_internet(2000, /*seed=*/42);
+  const auto tiers = topo.classify();
+  const auto stats = topology::compute_stats(topo.graph);
+  std::cout << "generated " << stats.num_ases << " ASes ("
+            << stats.cp_links << " customer-provider links, "
+            << stats.peer_links << " peer links)\n";
+
+  // 2. A partial deployment: every Tier 1 and Tier 2 ISP plus their stub
+  //    customers run S*BGP.
+  const auto rollout = deployment::t1_t2_rollout(
+      topo.graph, tiers, deployment::StubMode::kFullSbgp);
+  const auto& dep = rollout.back().deployment;
+  std::cout << "secure ASes: " << dep.secure.count() << "\n\n";
+
+  // 3. One concrete attack: m announces the bogus path "m, d" via legacy
+  //    BGP (Section 3.1 of the paper). Inspect a single routing outcome.
+  const topology::AsId d = tiers.bucket(topology::Tier::kTier2)[0];
+  const topology::AsId m = tiers.bucket(topology::Tier::kTier3)[0];
+  const auto outcome = routing::compute_routing(
+      topo.graph, {d, m, routing::SecurityModel::kSecuritySecond}, dep);
+  std::size_t unhappy = 0;
+  for (topology::AsId v = 0; v < topo.graph.num_ases(); ++v) {
+    if (outcome.happy(v) == routing::HappyStatus::kUnhappy) ++unhappy;
+  }
+  std::cout << "single attack (T3 AS " << m << " hijacks T2 AS " << d
+            << ", security 2nd): " << unhappy
+            << " sources fall for the bogus route\n\n";
+
+  // 4. The paper's metric H_{M,D}(S): average fraction of happy sources,
+  //    with tie-break bounds, over sampled attacker/destination pairs.
+  const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 24, 1);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 24, 2);
+  const auto baseline =
+      sim::estimate_metric(topo.graph, attackers, dests,
+                           routing::SecurityModel::kInsecure,
+                           routing::Deployment(topo.graph.num_ases()));
+  util::Table table({"model", "H(S) lower", "H(S) upper", "gain vs origin auth"});
+  table.add_row({"origin auth only", util::pct(baseline.lower),
+                 util::pct(baseline.upper), "-"});
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto h = sim::estimate_metric(topo.graph, attackers, dests, model, dep);
+    table.add_row({std::string(to_string(model)), util::pct(h.lower),
+                   util::pct(h.upper), util::pct(h.lower - baseline.lower)});
+  }
+  table.print(std::cout);
+  std::cout << "\nIs the juice worth the squeeze? Unless operators rank "
+               "security FIRST, barely.\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "deployment/maxk.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "routing/engine.h"
+#include "security/happiness.h"
+
+namespace sbgp::deployment {
+
+namespace {
+
+/// Applies `fn` to every size-k index subset of [0, n); stops early if fn
+/// returns true. Returns whether any call returned true.
+template <typename Fn>
+bool for_each_subset(std::size_t n, std::size_t k, Fn fn) {
+  if (k > n) return false;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    if (fn(idx)) return true;
+    // Advance to the next combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+[[nodiscard]] std::size_t binomial_capped(std::size_t n, std::size_t k,
+                                          std::size_t cap) {
+  if (k > n) return 0;
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    r = r * (n - i) / (i + 1);
+    if (r > cap) return cap + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::size_t happy_total(const AsGraph& g, AsId d, AsId m, SecurityModel model,
+                        const std::vector<AsId>& secure_set) {
+  routing::Deployment dep(g.num_ases());
+  for (const AsId v : secure_set) dep.secure.insert(v);
+  const auto out = routing::compute_routing(g, {d, m, model}, dep);
+  // Destination counts as happy; strict lower bound for everyone else.
+  return 1 + security::count_happy(out, d, m).happy_lower;
+}
+
+MaxKResult max_k_security_exact(const AsGraph& g, AsId d, AsId m,
+                                SecurityModel model, std::size_t k,
+                                std::size_t max_subsets) {
+  const std::size_t n = g.num_ases();
+  if (binomial_capped(n, k, max_subsets) > max_subsets) {
+    throw std::invalid_argument("max_k_security_exact: instance too large");
+  }
+  MaxKResult best;
+  for_each_subset(n, k, [&](const std::vector<std::size_t>& idx) {
+    std::vector<AsId> set;
+    set.reserve(idx.size());
+    for (const auto i : idx) set.push_back(static_cast<AsId>(i));
+    const auto happy = happy_total(g, d, m, model, set);
+    if (happy > best.happy) {
+      best.happy = happy;
+      best.chosen = set;
+    }
+    return false;  // never stop early: we want the maximum
+  });
+  return best;
+}
+
+MaxKResult max_k_security_greedy(const AsGraph& g, AsId d, AsId m,
+                                 SecurityModel model, std::size_t k) {
+  MaxKResult result;
+  result.happy = happy_total(g, d, m, model, {});
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t best_gain_happy = result.happy;
+    AsId best_v = routing::kNoAs;
+    for (AsId v = 0; v < g.num_ases(); ++v) {
+      if (std::find(result.chosen.begin(), result.chosen.end(), v) !=
+          result.chosen.end()) {
+        continue;
+      }
+      auto candidate = result.chosen;
+      candidate.push_back(v);
+      const auto happy = happy_total(g, d, m, model, candidate);
+      if (happy > best_gain_happy ||
+          (happy == best_gain_happy && best_v == routing::kNoAs)) {
+        best_gain_happy = happy;
+        best_v = v;
+      }
+    }
+    if (best_v == routing::kNoAs) break;  // every AS already chosen
+    result.chosen.push_back(best_v);
+    result.happy = best_gain_happy;
+  }
+  return result;
+}
+
+ReductionGraph build_reduction(const SetCoverInstance& sc) {
+  if (sc.num_elements == 0 || sc.subsets.empty()) {
+    throw std::invalid_argument("build_reduction: empty instance");
+  }
+  ReductionGraph rg;
+  const std::size_t n = sc.num_elements;
+  const std::size_t w = sc.subsets.size();
+  // Layout: 0 = d, 1 = m, [2, 2+n) = element ASes, [2+n, 2+n+w) = set ASes.
+  topology::AsGraphBuilder b(2 + n + w);
+  rg.destination = 0;
+  rg.attacker = 1;
+  for (std::uint32_t e = 0; e < n; ++e) {
+    const AsId ea = 2 + e;
+    rg.element_as.push_back(ea);
+    // The attacker sells transit to every element AS (Figure 18).
+    b.add_customer_provider(/*customer=*/ea, /*provider=*/rg.attacker);
+  }
+  for (std::uint32_t s = 0; s < w; ++s) {
+    const AsId sa = static_cast<AsId>(2 + n + s);
+    rg.set_as.push_back(sa);
+    // Every set AS sells transit to the destination.
+    b.add_customer_provider(/*customer=*/rg.destination, /*provider=*/sa);
+    for (const std::uint32_t e : sc.subsets[s]) {
+      if (e >= n) throw std::invalid_argument("build_reduction: bad element");
+      b.add_customer_provider(/*customer=*/2 + e, /*provider=*/sa);
+    }
+  }
+  rg.graph = b.build();
+  rg.k = n + sc.gamma + 1;
+  rg.l = n + w + 1;
+  return rg;
+}
+
+bool set_cover_exists(const SetCoverInstance& sc) {
+  const std::size_t w = sc.subsets.size();
+  bool found = false;
+  for_each_subset(w, sc.gamma, [&](const std::vector<std::size_t>& idx) {
+    std::vector<bool> covered(sc.num_elements, false);
+    for (const auto si : idx) {
+      for (const auto e : sc.subsets[si]) covered[e] = true;
+    }
+    if (std::all_of(covered.begin(), covered.end(), [](bool c) { return c; })) {
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  return found;
+}
+
+bool dklsp_decision(const ReductionGraph& rg, SecurityModel model) {
+  const std::size_t n = rg.graph.num_ases();
+  bool found = false;
+  for_each_subset(n, rg.k, [&](const std::vector<std::size_t>& idx) {
+    std::vector<AsId> set;
+    set.reserve(idx.size());
+    for (const auto i : idx) set.push_back(static_cast<AsId>(i));
+    if (happy_total(rg.graph, rg.destination, rg.attacker, model, set) >=
+        rg.l) {
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  return found;
+}
+
+}  // namespace sbgp::deployment

@@ -1,0 +1,86 @@
+// Max-k-Security (Section 5.1, Theorem 5.1, Appendix I).
+//
+// "Given an AS graph, an attacker-destination pair (m, d) and k > 0, find a
+// set S of k secure ASes maximizing the number of happy ASes." The paper
+// proves this NP-hard by reduction from Set Cover; this module provides:
+//   * exact (exhaustive) and greedy solvers for small instances,
+//   * the constructive Set-Cover -> Dk`l`SP reduction of Appendix I, used
+//     by the tests to verify the reduction's forward and backward
+//     directions on exhaustively-solved instances.
+// Happiness here is the strict lower bound (the reduction's element ASes
+// tie-break toward the attacker), and the destination itself counts as
+// happy, matching the paper's accounting (l = n + w + 1 includes d).
+#ifndef SBGP_DEPLOYMENT_MAXK_H
+#define SBGP_DEPLOYMENT_MAXK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::deployment {
+
+using routing::AsId;
+using routing::SecurityModel;
+using topology::AsGraph;
+
+/// Number of strictly happy ASes (destination included, attacker and
+/// tie-break-dependent sources excluded) when exactly `secure_set` deploys.
+[[nodiscard]] std::size_t happy_total(const AsGraph& g, AsId d, AsId m,
+                                      SecurityModel model,
+                                      const std::vector<AsId>& secure_set);
+
+struct MaxKResult {
+  std::vector<AsId> chosen;
+  std::size_t happy = 0;
+};
+
+/// Exhaustive Max-k-Security over all C(|V|, k) subsets. Exponential: only
+/// for small graphs (throws if C(|V|, k) would exceed `max_subsets`).
+[[nodiscard]] MaxKResult max_k_security_exact(const AsGraph& g, AsId d, AsId m,
+                                              SecurityModel model,
+                                              std::size_t k,
+                                              std::size_t max_subsets = 2'000'000);
+
+/// Greedy Max-k-Security: adds the AS with the best marginal gain, k times.
+/// A natural heuristic against which the exact optimum is compared.
+[[nodiscard]] MaxKResult max_k_security_greedy(const AsGraph& g, AsId d, AsId m,
+                                               SecurityModel model,
+                                               std::size_t k);
+
+// --- Appendix I reduction --------------------------------------------------
+
+/// A Set Cover instance: universe {0..num_elements-1} and subsets over it.
+struct SetCoverInstance {
+  std::uint32_t num_elements = 0;
+  std::vector<std::vector<std::uint32_t>> subsets;
+  std::uint32_t gamma = 0;  // cover budget
+};
+
+/// The Dk`l`SP instance built from a Set Cover instance (Figure 18):
+/// element ASes buy transit from the attacker; set ASes sell transit to the
+/// destination; element e buys from set s iff e is in s.
+struct ReductionGraph {
+  AsGraph graph;
+  AsId destination = 0;
+  AsId attacker = 0;
+  std::vector<AsId> element_as;  // one per universe element
+  std::vector<AsId> set_as;      // one per subset
+
+  /// Budget k = n + gamma + 1 and target l = n + w + 1 from the proof.
+  std::size_t k = 0;
+  std::size_t l = 0;
+};
+
+[[nodiscard]] ReductionGraph build_reduction(const SetCoverInstance& sc);
+
+/// Exhaustive Set Cover decision (small instances).
+[[nodiscard]] bool set_cover_exists(const SetCoverInstance& sc);
+
+/// Dk`l`SP decision by exhaustive search over deployments of size k.
+[[nodiscard]] bool dklsp_decision(const ReductionGraph& rg, SecurityModel model);
+
+}  // namespace sbgp::deployment
+
+#endif  // SBGP_DEPLOYMENT_MAXK_H

@@ -1,0 +1,125 @@
+#include "deployment/scenario.h"
+
+#include <algorithm>
+
+namespace sbgp::deployment {
+
+namespace {
+
+using topology::Tier;
+
+/// Secures the first `x` ASes of `bucket` plus their stubs.
+void secure_prefix_with_stubs(const AsGraph& g, const TierInfo& tiers,
+                              const std::vector<AsId>& bucket, std::size_t x,
+                              StubMode mode, Deployment& dep) {
+  const std::size_t take = std::min(x, bucket.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    secure_isp_with_stubs(g, tiers, bucket[i], mode, dep);
+  }
+}
+
+RolloutStep finish_step(std::string label, Deployment dep) {
+  RolloutStep step;
+  step.label = std::move(label);
+  step.num_non_stub_secure = 0;
+  step.total_secure = dep.secure.count() + dep.simplex.count();
+  step.deployment = std::move(dep);
+  return step;
+}
+
+}  // namespace
+
+void secure_isp_with_stubs(const AsGraph& g, const TierInfo& tiers, AsId isp,
+                           StubMode mode, Deployment& dep) {
+  dep.secure.insert(isp);
+  for (const AsId stub : topology::stub_customers_of(g, isp)) {
+    if (tiers.tier(stub) == Tier::kContentProvider) continue;
+    if (mode == StubMode::kSimplex) {
+      if (!dep.secure.contains(stub)) dep.simplex.insert(stub);
+    } else {
+      dep.secure.insert(stub);
+    }
+  }
+}
+
+std::vector<RolloutStep> t1_t2_rollout(const AsGraph& g, const TierInfo& tiers,
+                                       StubMode mode) {
+  const auto& t1 = tiers.bucket(Tier::kTier1);
+  const auto& t2 = tiers.bucket(Tier::kTier2);
+  std::vector<RolloutStep> steps;
+  for (const std::size_t y : {std::size_t{13}, std::size_t{37}, t2.size()}) {
+    Deployment dep(g.num_ases());
+    secure_prefix_with_stubs(g, tiers, t1, t1.size(), mode, dep);
+    secure_prefix_with_stubs(g, tiers, t2, y, mode, dep);
+    auto step = finish_step(
+        "T1+" + std::to_string(std::min(y, t2.size())) + "xT2+stubs",
+        std::move(dep));
+    step.num_non_stub_secure = t1.size() + std::min(y, t2.size());
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+std::vector<RolloutStep> t1_t2_cp_rollout(const AsGraph& g,
+                                          const TierInfo& tiers,
+                                          StubMode mode) {
+  auto steps = t1_t2_rollout(g, tiers, mode);
+  for (auto& step : steps) {
+    for (const AsId cp : tiers.bucket(Tier::kContentProvider)) {
+      step.deployment.secure.insert(cp);
+    }
+    step.label += "+CP";
+    step.total_secure =
+        step.deployment.secure.count() + step.deployment.simplex.count();
+  }
+  return steps;
+}
+
+std::vector<RolloutStep> t2_rollout(const AsGraph& g, const TierInfo& tiers,
+                                    StubMode mode) {
+  const auto& t2 = tiers.bucket(Tier::kTier2);
+  std::vector<RolloutStep> steps;
+  for (const std::size_t y :
+       {std::size_t{13}, std::size_t{26}, std::size_t{50}, t2.size()}) {
+    const std::size_t take = std::min(y, t2.size());
+    Deployment dep(g.num_ases());
+    secure_prefix_with_stubs(g, tiers, t2, take, mode, dep);
+    auto step =
+        finish_step(std::to_string(take) + "xT2+stubs", std::move(dep));
+    step.num_non_stub_secure = take;
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+Deployment nonstub_deployment(const AsGraph& g) {
+  Deployment dep(g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (!g.is_stub(v)) dep.secure.insert(v);
+  }
+  return dep;
+}
+
+Deployment t1_and_stubs(const AsGraph& g, const TierInfo& tiers,
+                        bool include_cps, StubMode mode) {
+  Deployment dep(g.num_ases());
+  for (const AsId t1 : tiers.bucket(Tier::kTier1)) {
+    secure_isp_with_stubs(g, tiers, t1, mode, dep);
+  }
+  if (include_cps) {
+    for (const AsId cp : tiers.bucket(Tier::kContentProvider)) {
+      dep.secure.insert(cp);
+    }
+  }
+  return dep;
+}
+
+Deployment top_t2_and_stubs(const AsGraph& g, const TierInfo& tiers,
+                            std::size_t count, StubMode mode) {
+  Deployment dep(g.num_ases());
+  const auto& t2 = tiers.bucket(Tier::kTier2);
+  secure_prefix_with_stubs(g, tiers, t2, count, mode, dep);
+  return dep;
+}
+
+}  // namespace sbgp::deployment

@@ -1,0 +1,94 @@
+// Partial-deployment scenarios (Section 5).
+//
+// The paper evaluates concrete rollouts suggested in practice and in prior
+// work rather than the (NP-hard) optimal set:
+//   * Tier 1 + Tier 2 rollout: secure X Tier 1s, Y Tier 2s and all their
+//     stub customers, (X, Y) in {(13,13), (13,37), (13,100)} (§5.2.1);
+//   * the same rollout with all content providers secure (§5.2.2);
+//   * Tier 2-only rollout, Y in {13, 26, 50, 100} (§5.2.4);
+//   * all non-stub ASes (§5.2.4);
+//   * all Tier 1s + their stubs (± CPs) — the "early adopter" scenario the
+//     paper argues against (§5.3.1);
+//   * the 13 largest Tier 2s + stubs — the alternative it argues for.
+// Every scenario supports simplex S*BGP at stubs (§5.3.2): stubs then only
+// sign (their prefixes can be secured) but do not validate.
+#ifndef SBGP_DEPLOYMENT_SCENARIO_H
+#define SBGP_DEPLOYMENT_SCENARIO_H
+
+#include <string>
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+#include "topology/tier.h"
+
+namespace sbgp::deployment {
+
+using routing::Deployment;
+using topology::AsGraph;
+using topology::AsId;
+using topology::TierInfo;
+
+/// How stubs participate in a deployment.
+enum class StubMode {
+  kFullSbgp,  // stubs run full S*BGP (sign + validate)
+  kSimplex,   // stubs run simplex S*BGP (sign only), Section 5.3.2
+};
+
+/// One step of a rollout.
+struct RolloutStep {
+  std::string label;
+  Deployment deployment;
+  std::size_t num_non_stub_secure = 0;  // the x-axis of Figures 7/8/11
+  std::size_t total_secure = 0;         // |S| including stubs (and simplex)
+};
+
+/// Secures `isp` plus all of its stub customers (into `secure` or `simplex`
+/// per `mode`). Content providers have no customers of their own but are
+/// not "stubs" in the paper's rollouts (they are secured explicitly in the
+/// +CP scenarios), so customers classified as CPs are skipped.
+void secure_isp_with_stubs(const AsGraph& g, const TierInfo& tiers, AsId isp,
+                           StubMode mode, Deployment& dep);
+
+/// Tier 1 + Tier 2 rollout of §5.2.1: steps (X=13,Y=13), (13,37), (13,100)
+/// clipped to what the tier buckets contain. Tier lists are taken in
+/// decreasing customer-degree order (the classifier's order).
+[[nodiscard]] std::vector<RolloutStep> t1_t2_rollout(const AsGraph& g,
+                                                     const TierInfo& tiers,
+                                                     StubMode mode);
+
+/// Same rollout with every content provider also secure (§5.2.2).
+[[nodiscard]] std::vector<RolloutStep> t1_t2_cp_rollout(const AsGraph& g,
+                                                        const TierInfo& tiers,
+                                                        StubMode mode);
+
+/// Tier 2-only rollout of §5.2.4: Y in {13, 26, 50, 100}.
+[[nodiscard]] std::vector<RolloutStep> t2_rollout(const AsGraph& g,
+                                                  const TierInfo& tiers,
+                                                  StubMode mode);
+
+/// All non-stub ASes secure (§5.2.4).
+[[nodiscard]] Deployment nonstub_deployment(const AsGraph& g);
+
+/// All Tier 1s + their stubs; optionally also the CPs (§5.3.1).
+[[nodiscard]] Deployment t1_and_stubs(const AsGraph& g, const TierInfo& tiers,
+                                      bool include_cps, StubMode mode);
+
+/// The 13 largest Tier 2s + their stubs (§5.3.1's recommendation).
+[[nodiscard]] Deployment top_t2_and_stubs(const AsGraph& g,
+                                          const TierInfo& tiers,
+                                          std::size_t count, StubMode mode);
+
+/// Operator survey results the paper cites (Gill et al. [18]): fraction of
+/// surveyed operators who would rank security 1st / 2nd / 3rd; the rest
+/// declined to answer.
+struct SurveyShares {
+  double security_first = 0.10;
+  double security_second = 0.20;
+  double security_third = 0.41;
+};
+[[nodiscard]] constexpr SurveyShares operator_survey() { return {}; }
+
+}  // namespace sbgp::deployment
+
+#endif  // SBGP_DEPLOYMENT_SCENARIO_H

@@ -1,0 +1,217 @@
+#include "routing/baseline.h"
+
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace sbgp::routing {
+
+namespace {
+
+using HeapItem = std::pair<std::uint32_t, AsId>;
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+struct Ctx {
+  const AsGraph& g;
+  AsId d;
+  AsId m;
+  std::vector<std::uint8_t> fixed;
+  RoutingOutcome out;
+
+  Ctx(const AsGraph& graph, AsId dest, AsId attacker)
+      : g(graph),
+        d(dest),
+        m(attacker),
+        fixed(graph.num_ases(), 0),
+        out(graph.num_ases()) {}
+
+  [[nodiscard]] bool exports_up(AsId u) const noexcept {
+    return out.type(u) == RouteType::kOrigin ||
+           out.type(u) == RouteType::kCustomer;
+  }
+
+  /// Fixes v from the tie set of neighbors in `cands` (all equally best).
+  void fix_from(AsId v, RouteType t, std::uint32_t len,
+                const std::vector<AsId>& cands) {
+    assert(!cands.empty());
+    bool reach_d = false;
+    bool reach_m = false;
+    AsId nh_d = kNoAs;
+    AsId nh_m = kNoAs;
+    for (const AsId u : cands) {
+      if (out.reaches_destination(u)) {
+        reach_d = true;
+        if (nh_d == kNoAs) nh_d = u;
+      }
+      if (out.reaches_attacker(u)) {
+        reach_m = true;
+        if (nh_m == kNoAs) nh_m = u;
+      }
+    }
+    out.fix(v, t, static_cast<std::uint16_t>(len), reach_d, reach_m,
+            /*secure=*/false, nh_d, nh_m);
+    fixed[v] = 1;
+  }
+
+  /// Customer-route candidates of length `len` at v.
+  [[nodiscard]] std::vector<AsId> customer_candidates(AsId v,
+                                                      std::uint32_t len) const {
+    std::vector<AsId> cands;
+    for (const AsId c : g.customers(v)) {
+      if (fixed[c] && exports_up(c) && out.length(c) + 1u == len) {
+        cands.push_back(c);
+      }
+    }
+    return cands;
+  }
+
+  [[nodiscard]] std::vector<AsId> peer_candidates(AsId v,
+                                                  std::uint32_t len) const {
+    std::vector<AsId> cands;
+    for (const AsId u : g.peers(v)) {
+      if (fixed[u] && exports_up(u) && out.length(u) + 1u == len) {
+        cands.push_back(u);
+      }
+    }
+    return cands;
+  }
+};
+
+/// Fixes every unfixed AS holding a customer route of exactly length `len`.
+/// Returns the newly fixed ASes.
+std::vector<AsId> sweep_customer_level(Ctx& ctx, std::uint32_t len,
+                                       const std::vector<AsId>& frontier) {
+  std::vector<AsId> fixed_now;
+  for (const AsId u : frontier) {
+    for (const AsId p : ctx.g.providers(u)) {
+      if (ctx.fixed[p]) continue;
+      const auto cands = ctx.customer_candidates(p, len);
+      if (cands.empty()) continue;
+      ctx.fix_from(p, RouteType::kCustomer, len, cands);
+      fixed_now.push_back(p);
+    }
+  }
+  return fixed_now;
+}
+
+/// Fixes every unfixed AS holding a peer route of exactly length `len`.
+void sweep_peer_level(Ctx& ctx, std::uint32_t len,
+                      const std::vector<AsId>& exporters) {
+  for (const AsId u : exporters) {
+    for (const AsId v : ctx.g.peers(u)) {
+      if (ctx.fixed[v]) continue;
+      const auto cands = ctx.peer_candidates(v, len);
+      if (!cands.empty()) ctx.fix_from(v, RouteType::kPeer, len, cands);
+    }
+  }
+}
+
+/// Remaining customer routes (length > k) in increasing length order.
+void finish_customer_routes(Ctx& ctx) {
+  MinHeap heap;
+  for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
+    if (!ctx.fixed[u] || !ctx.exports_up(u)) continue;
+    for (const AsId p : ctx.g.providers(u)) {
+      if (!ctx.fixed[p]) heap.emplace(ctx.out.length(u) + 1u, p);
+    }
+  }
+  while (!heap.empty()) {
+    const auto [len, v] = heap.top();
+    heap.pop();
+    if (ctx.fixed[v]) continue;
+    const auto cands = ctx.customer_candidates(v, len);
+    assert(!cands.empty());
+    ctx.fix_from(v, RouteType::kCustomer, len, cands);
+    for (const AsId p : ctx.g.providers(v)) {
+      if (!ctx.fixed[p]) heap.emplace(len + 1u, p);
+    }
+  }
+}
+
+/// Remaining peer routes: single sweep, shortest candidate per AS.
+void finish_peer_routes(Ctx& ctx) {
+  for (AsId v = 0; v < ctx.g.num_ases(); ++v) {
+    if (ctx.fixed[v]) continue;
+    std::uint32_t best = 0xFFFF'FFFFu;
+    for (const AsId u : ctx.g.peers(v)) {
+      if (ctx.fixed[u] && ctx.exports_up(u)) {
+        best = std::min(best, ctx.out.length(u) + 1u);
+      }
+    }
+    if (best == 0xFFFF'FFFFu) continue;
+    ctx.fix_from(v, RouteType::kPeer, best, ctx.peer_candidates(v, best));
+  }
+}
+
+/// Provider routes: Dijkstra down from every fixed AS.
+void finish_provider_routes(Ctx& ctx) {
+  MinHeap heap;
+  for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
+    if (!ctx.fixed[u]) continue;
+    for (const AsId c : ctx.g.customers(u)) {
+      if (!ctx.fixed[c]) heap.emplace(ctx.out.length(u) + 1u, c);
+    }
+  }
+  while (!heap.empty()) {
+    const auto [len, v] = heap.top();
+    heap.pop();
+    if (ctx.fixed[v]) continue;
+    std::vector<AsId> cands;
+    for (const AsId p : ctx.g.providers(v)) {
+      if (ctx.fixed[p] && ctx.out.length(p) + 1u == len) cands.push_back(p);
+    }
+    assert(!cands.empty());
+    ctx.fix_from(v, RouteType::kProvider, len, cands);
+    for (const AsId c : ctx.g.customers(v)) {
+      if (!ctx.fixed[c]) heap.emplace(len + 1u, c);
+    }
+  }
+}
+
+}  // namespace
+
+RoutingOutcome compute_baseline(const AsGraph& g, AsId d, AsId m,
+                                LocalPrefPolicy lp) {
+  if (d >= g.num_ases()) {
+    throw std::invalid_argument("compute_baseline: bad destination");
+  }
+  if (m != kNoAs && (m >= g.num_ases() || m == d)) {
+    throw std::invalid_argument("compute_baseline: bad attacker");
+  }
+  Ctx ctx(g, d, m);
+  ctx.out.fix(d, RouteType::kOrigin, 0, true, false, false, kNoAs, kNoAs);
+  ctx.fixed[d] = 1;
+  if (m != kNoAs) {
+    ctx.out.fix(m, RouteType::kOrigin, 1, false, true, false, kNoAs, kNoAs);
+    ctx.fixed[m] = 1;
+  }
+
+  // Interleaved rungs: customer/peer routes of length l = 1..k in ladder
+  // order. The standard policy is the k = 0 ladder (no interleaving).
+  const std::uint32_t k =
+      lp.kind == LocalPrefPolicy::Kind::kLpK ? lp.k : 0;
+  // Frontier of customer-route exporters per length; origins export at
+  // their own lengths (m's bogus route already counts its fake hop).
+  std::vector<AsId> frontier{d};
+  if (m != kNoAs) frontier.push_back(m);
+  for (std::uint32_t l = 1; l <= k; ++l) {
+    // Customer routes of length l first (rung 2(l-1))...
+    std::vector<AsId> next;
+    std::vector<AsId> exporters;  // exporters of length l-1 announcements
+    for (const AsId u : frontier) {
+      if (ctx.out.length(u) + 1u == l) exporters.push_back(u);
+    }
+    next = sweep_customer_level(ctx, l, exporters);
+    // ...then peer routes of length l (rung 2(l-1)+1).
+    sweep_peer_level(ctx, l, exporters);
+    // The next level's exporters: everything fixed so far that exports up.
+    frontier.insert(frontier.end(), next.begin(), next.end());
+  }
+  finish_customer_routes(ctx);
+  finish_peer_routes(ctx);
+  finish_provider_routes(ctx);
+  return ctx.out;
+}
+
+}  // namespace sbgp::routing

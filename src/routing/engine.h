@@ -1,0 +1,126 @@
+// Staged-BFS computation of S*BGP routing outcomes (Appendix B).
+//
+// For a query (destination d, optional attacker m announcing the bogus path
+// "m, d" over legacy BGP) and a partial deployment S, the engine computes
+// the unique stable routing state (Theorem 2.1) in O((V + E) log V) by
+// "fixing" AS routes in the order the paper's Fix-Routes algorithm
+// prescribes:
+//
+//   baseline / security 3rd:  FCR -> FPeeR -> FPrvR
+//   security 2nd:             FSCR -> FCR -> FPeeR -> FSPrvR -> FPrvR
+//   security 1st:             FSCR -> FSPeeR -> FSPrvR -> FCR -> FPeeR -> FPrvR
+//
+// where the FS* stages propagate fully-secure routes among validating ASes
+// only. Each AS ends with its route's relationship class, length, security,
+// and the pair of flags {some most-preferred route reaches d, some reaches
+// m} that drive the tie-break upper/lower bounds of Appendix C.
+#ifndef SBGP_ROUTING_ENGINE_H
+#define SBGP_ROUTING_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::routing {
+
+using topology::AsGraph;
+
+/// Length value meaning "no route".
+inline constexpr std::uint16_t kNoRouteLength = 0xFFFF;
+
+/// Stable routing state for one (d, m, S, model) instance.
+///
+/// All per-AS attributes below are invariant under intradomain tie-breaking
+/// (every route in an AS's most-preferred set shares the same relationship
+/// class, length and security — Appendix B.1); only *which endpoint* a route
+/// reaches can depend on tie-breaking, which the reach flags expose.
+class RoutingOutcome {
+ public:
+  explicit RoutingOutcome(std::size_t n)
+      : type_(n, RouteType::kNone),
+        length_(n, kNoRouteLength),
+        flags_(n, 0),
+        next_toward_d_(n, kNoAs),
+        next_toward_m_(n, kNoAs) {}
+
+  [[nodiscard]] std::size_t num_ases() const noexcept { return type_.size(); }
+
+  [[nodiscard]] RouteType type(AsId v) const noexcept { return type_[v]; }
+  [[nodiscard]] std::uint16_t length(AsId v) const noexcept { return length_[v]; }
+  [[nodiscard]] bool has_route(AsId v) const noexcept {
+    return type_[v] != RouteType::kNone;
+  }
+  /// True if some most-preferred route of v leads to the legitimate d.
+  [[nodiscard]] bool reaches_destination(AsId v) const noexcept {
+    return (flags_[v] & kReachD) != 0;
+  }
+  /// True if some most-preferred route of v leads to the attacker.
+  [[nodiscard]] bool reaches_attacker(AsId v) const noexcept {
+    return (flags_[v] & kReachM) != 0;
+  }
+  /// True if v's route was learned entirely via S*BGP (a "secure route").
+  [[nodiscard]] bool secure_route(AsId v) const noexcept {
+    return (flags_[v] & kSecure) != 0;
+  }
+
+  [[nodiscard]] HappyStatus happy(AsId v) const noexcept {
+    if (!has_route(v)) return HappyStatus::kDisconnected;
+    const bool d = reaches_destination(v);
+    const bool m = reaches_attacker(v);
+    if (d && m) return HappyStatus::kEither;
+    return d ? HappyStatus::kHappy : HappyStatus::kUnhappy;
+  }
+
+  /// A representative most-preferred path from v to the root indicated by
+  /// `toward_destination` (the full AS sequence, ending at d or m). Only
+  /// valid if the corresponding reach flag is set.
+  [[nodiscard]] std::vector<AsId> representative_path(
+      AsId v, bool toward_destination) const;
+
+  // --- engine-internal setters (public for the implementation file) -----
+  void fix(AsId v, RouteType t, std::uint16_t len, bool reach_d, bool reach_m,
+           bool secure, AsId nh_d, AsId nh_m) noexcept {
+    type_[v] = t;
+    length_[v] = len;
+    flags_[v] = static_cast<std::uint8_t>((reach_d ? kReachD : 0) |
+                                          (reach_m ? kReachM : 0) |
+                                          (secure ? kSecure : 0));
+    next_toward_d_[v] = nh_d;
+    next_toward_m_[v] = nh_m;
+  }
+
+ private:
+  static constexpr std::uint8_t kReachD = 1;
+  static constexpr std::uint8_t kReachM = 2;
+  static constexpr std::uint8_t kSecure = 4;
+
+  std::vector<RouteType> type_;
+  std::vector<std::uint16_t> length_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<AsId> next_toward_d_;
+  std::vector<AsId> next_toward_m_;
+};
+
+/// Computes the stable routing outcome. Preconditions: destination valid;
+/// attacker != destination (or kNoAs); model kInsecure ignores `deployment`.
+/// Only the standard LP policy is supported here (the LPk variant of
+/// Appendix K is handled by the reference simulator and the partition
+/// analysis). Throws std::invalid_argument on bad queries.
+[[nodiscard]] RoutingOutcome compute_routing(const AsGraph& g, const Query& q,
+                                             const Deployment& deployment);
+
+/// Section 8 extension: S*BGP with *hysteresis*. An AS that holds a secure
+/// route under normal conditions does not abandon it during an attack even
+/// if a higher-ranked insecure route appears — eliminating protocol
+/// downgrade attacks by construction (except when the attacker sits on the
+/// secure route itself). Equivalent to compute_routing for the security
+/// 1st model (Theorem 3.1); for the 2nd/3rd models it quantifies how much
+/// of the 1st model's protection the paper's proposed fix could recover.
+[[nodiscard]] RoutingOutcome compute_routing_with_hysteresis(
+    const AsGraph& g, const Query& q, const Deployment& deployment);
+
+}  // namespace sbgp::routing
+
+#endif  // SBGP_ROUTING_ENGINE_H

@@ -1,0 +1,55 @@
+// Perceivable-route reachability and shortest lengths (Definition B.1).
+//
+// A route is *perceivable* at an AS if every hop along it complies with the
+// export rule Ex, independently of other ASes' choices. Perceivable routes
+// bound what any AS could ever learn, which is exactly what the paper's
+// doomed/immune/protectable partitions (Section 4.3, Appendix E) compare:
+//  * customer routes: paths climbing customer->provider edges from the root;
+//  * peer routes: one peer hop off a perceivable customer route;
+//  * provider routes: paths descending provider->customer edges from any
+//    perceivably-reached AS.
+#ifndef SBGP_ROUTING_REACH_H
+#define SBGP_ROUTING_REACH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::routing {
+
+using topology::AsGraph;
+
+/// Shortest perceivable route length per relationship class, from every AS
+/// to one root. kNoRouteLength (0xFFFF) where no such route exists.
+struct PerceivableDistances {
+  std::vector<std::uint16_t> customer;
+  std::vector<std::uint16_t> peer;
+  std::vector<std::uint16_t> provider;
+
+  /// Best (relationship class, length) pair under the standard LP ladder;
+  /// class order customer < peer < provider. Returns {RouteType::kNone, inf}
+  /// if the root is not perceivably reachable at all.
+  [[nodiscard]] std::pair<RouteType, std::uint16_t> best(AsId v) const;
+
+  [[nodiscard]] bool reachable(AsId v) const {
+    return customer[v] != kNoRouteLengthR || peer[v] != kNoRouteLengthR ||
+           provider[v] != kNoRouteLengthR;
+  }
+
+  static constexpr std::uint16_t kNoRouteLengthR = 0xFFFF;
+};
+
+/// Computes perceivable distances to `root`, whose own announcement counts
+/// as length `root_length` (0 for a legitimate destination; 1 for an
+/// attacker claiming the bogus edge "m, d"). If `excluded != kNoAs`, that
+/// AS is removed from the graph (used for the exact security-1st doomed /
+/// immune tests of Appendix E.3).
+[[nodiscard]] PerceivableDistances perceivable_distances(
+    const AsGraph& g, AsId root, std::uint16_t root_length = 0,
+    AsId excluded = kNoAs);
+
+}  // namespace sbgp::routing
+
+#endif  // SBGP_ROUTING_REACH_H

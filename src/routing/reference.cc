@@ -1,0 +1,285 @@
+#include "routing/reference.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace sbgp::routing {
+
+namespace {
+
+[[nodiscard]] std::uint64_t link_key(AsId a, AsId b) noexcept {
+  const AsId lo = std::min(a, b);
+  const AsId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+ReferenceSimulator::ReferenceSimulator(const AsGraph& g, Deployment deployment,
+                                       LocalPrefPolicy lp,
+                                       std::vector<SecurityModel> model_of)
+    : g_(g),
+      dep_(std::move(deployment)),
+      lp_(lp),
+      model_of_(std::move(model_of)) {
+  if (!model_of_.empty() && model_of_.size() != g.num_ases()) {
+    throw std::invalid_argument("ReferenceSimulator: model_of size mismatch");
+  }
+  const std::size_t n = g.num_ases();
+  nbrs_.resize(n);
+  for (AsId v = 0; v < n; ++v) {
+    for (const AsId c : g.customers(v)) nbrs_[v].push_back({c, Relation::kCustomer});
+    for (const AsId p : g.peers(v)) nbrs_[v].push_back({p, Relation::kPeer});
+    for (const AsId p : g.providers(v)) nbrs_[v].push_back({p, Relation::kProvider});
+  }
+  rib_.resize(n);
+  chosen_.resize(n);
+  is_origin_.assign(n, 0);
+  force_announce_.assign(n, 0);
+}
+
+void ReferenceSimulator::reset() {
+  for (auto& r : rib_) r.clear();
+  for (auto& c : chosen_) c.reset();
+  std::fill(is_origin_.begin(), is_origin_.end(), std::uint8_t{0});
+  dest_ = kNoAs;
+  attacker_ = kNoAs;
+}
+
+bool ReferenceSimulator::link_enabled(AsId a, AsId b) const {
+  return !disabled_links_.contains(link_key(a, b));
+}
+
+bool ReferenceSimulator::validates(AsId v) const {
+  return model_at(v) != SecurityModel::kInsecure && dep_.validates(v);
+}
+
+SecurityModel ReferenceSimulator::model_at(AsId v) const {
+  return model_of_.empty() ? uniform_model_ : model_of_[v];
+}
+
+bool ReferenceSimulator::better(AsId v, const RibEntry& a, Relation rel_a,
+                                const RibEntry& b, Relation rel_b) const {
+  const bool sec_a = validates(v) && a.via_sbgp;
+  const bool sec_b = validates(v) && b.via_sbgp;
+  const std::uint32_t rung_a = lp_rung(lp_, rel_a, a.path.size());
+  const std::uint32_t rung_b = lp_rung(lp_, rel_b, b.path.size());
+  const std::size_t len_a = a.path.size();
+  const std::size_t len_b = b.path.size();
+
+  // Build the model-specific lexicographic key; smaller is better.
+  const auto key = [&](bool sec, std::uint32_t rung, std::size_t len,
+                       AsId next_hop) {
+    std::array<std::uint64_t, 4> k{};
+    const std::uint64_t insec = sec ? 0 : 1;
+    switch (model_at(v)) {
+      case SecurityModel::kInsecure:
+        k = {rung, len, next_hop, 0};
+        break;
+      case SecurityModel::kSecurityFirst:
+        k = {insec, rung, len, next_hop};
+        break;
+      case SecurityModel::kSecuritySecond:
+        k = {rung, insec, len, next_hop};
+        break;
+      case SecurityModel::kSecurityThird:
+        k = {rung, len, insec, next_hop};
+        break;
+    }
+    return k;
+  };
+  return key(sec_a, rung_a, len_a, a.path.front()) <
+         key(sec_b, rung_b, len_b, b.path.front());
+}
+
+std::optional<RibEntry> ReferenceSimulator::select_best(AsId v) const {
+  std::optional<RibEntry> best;
+  Relation best_rel = Relation::kProvider;
+  for (const auto& [nbr, rel] : nbrs_[v]) {
+    const auto it = rib_[v].find(nbr);
+    if (it == rib_[v].end()) continue;
+    const RibEntry& entry = it->second;
+    // Loop prevention: ignore paths that already contain v.
+    if (std::find(entry.path.begin(), entry.path.end(), v) != entry.path.end()) {
+      continue;
+    }
+    if (!best || better(v, entry, rel, *best, best_rel)) {
+      best = entry;
+      best_rel = rel;
+    }
+  }
+  return best;
+}
+
+void ReferenceSimulator::announce_from(AsId v, std::vector<AsId>& dirty_out) {
+  // Compose the outgoing announcement (if any) once.
+  std::optional<RibEntry> out;
+  bool via_customer_route = false;
+  if (is_origin_[v]) {
+    RibEntry e;
+    if (v == dest_) {
+      e.path = {v};
+      e.via_sbgp = dep_.signs_origin(v);
+    } else {
+      // The attacker's bogus "m, d", always legacy BGP (Section 3.1).
+      e.path = {v, dest_};
+      e.via_sbgp = false;
+    }
+    out = std::move(e);
+    via_customer_route = true;  // origins announce to everyone
+  } else if (chosen_[v].has_value()) {
+    RibEntry e;
+    e.path.reserve(chosen_[v]->path.size() + 1);
+    e.path.push_back(v);
+    e.path.insert(e.path.end(), chosen_[v]->path.begin(),
+                  chosen_[v]->path.end());
+    // The S*BGP chain continues only through adopters.
+    e.via_sbgp = dep_.validates(v) && chosen_[v]->via_sbgp;
+    out = std::move(e);
+    const AsId nh = chosen_[v]->path.front();
+    for (const auto& [nbr, rel] : nbrs_[v]) {
+      if (nbr == nh) {
+        via_customer_route = rel == Relation::kCustomer;
+        break;
+      }
+    }
+  }
+
+  for (const auto& [nbr, rel] : nbrs_[v]) {
+    if (!link_enabled(v, nbr)) continue;
+    // Export rule Ex: customer routes (and own prefixes) go to everyone;
+    // peer/provider routes go to customers only.
+    const bool allowed =
+        out.has_value() && (via_customer_route || rel == Relation::kCustomer);
+    auto& peer_rib = rib_[nbr];
+    const auto it = peer_rib.find(v);
+    if (allowed) {
+      if (it == peer_rib.end() || it->second.path != out->path ||
+          it->second.via_sbgp != out->via_sbgp) {
+        peer_rib[v] = *out;
+        dirty_out.push_back(nbr);
+      }
+    } else if (it != peer_rib.end()) {
+      peer_rib.erase(it);
+      dirty_out.push_back(nbr);
+    }
+  }
+}
+
+void ReferenceSimulator::set_link_enabled(AsId a, AsId b, bool enabled) {
+  if (!g_.relation(a, b).has_value()) {
+    throw std::invalid_argument("set_link_enabled: not adjacent");
+  }
+  if (enabled) {
+    disabled_links_.erase(link_key(a, b));
+  } else {
+    disabled_links_.insert(link_key(a, b));
+    rib_[a].erase(b);
+    rib_[b].erase(a);
+  }
+  pending_events_.push_back(a);
+  pending_events_.push_back(b);
+  force_announce_[a] = 1;
+  force_announce_[b] = 1;
+}
+
+ConvergenceResult ReferenceSimulator::run(const Query& q,
+                                          std::uint64_t activation_seed,
+                                          std::size_t max_activations) {
+  if (q.destination >= g_.num_ases()) {
+    throw std::invalid_argument("ReferenceSimulator::run: bad destination");
+  }
+  if (q.attacker != kNoAs &&
+      (q.attacker >= g_.num_ases() || q.attacker == q.destination)) {
+    throw std::invalid_argument("ReferenceSimulator::run: bad attacker");
+  }
+  uniform_model_ = q.model;
+  if (q.destination != dest_ || q.attacker != attacker_) {
+    // Fresh query: discard all routing state.
+    for (auto& r : rib_) r.clear();
+    for (auto& c : chosen_) c.reset();
+    std::fill(is_origin_.begin(), is_origin_.end(), std::uint8_t{0});
+    dest_ = q.destination;
+    attacker_ = q.attacker;
+    is_origin_[dest_] = 1;
+    if (attacker_ != kNoAs) is_origin_[attacker_] = 1;
+  }
+
+  util::Rng rng(activation_seed);
+  std::vector<AsId> queue;
+  std::vector<std::uint8_t> queued(g_.num_ases(), 0);
+  const auto enqueue = [&](AsId v) {
+    if (!queued[v]) {
+      queued[v] = 1;
+      queue.push_back(v);
+    }
+  };
+  enqueue(dest_);
+  if (attacker_ != kNoAs) enqueue(attacker_);
+  for (const AsId v : pending_events_) enqueue(v);
+  pending_events_.clear();
+
+  ConvergenceResult result;
+  std::vector<AsId> dirty;
+  while (!queue.empty() && result.activations < max_activations) {
+    // Asynchronous activation order: pick a random queued AS.
+    const std::size_t i = rng.next_below(queue.size());
+    const AsId v = queue[i];
+    queue[i] = queue.back();
+    queue.pop_back();
+    queued[v] = 0;
+    ++result.activations;
+
+    bool announce = is_origin_[v] != 0 || force_announce_[v] != 0;
+    force_announce_[v] = 0;
+    if (!is_origin_[v]) {
+      auto best = select_best(v);
+      const bool changed = best.has_value() != chosen_[v].has_value() ||
+                           (best.has_value() &&
+                            (best->path != chosen_[v]->path ||
+                             best->via_sbgp != chosen_[v]->via_sbgp));
+      if (changed) {
+        chosen_[v] = std::move(best);
+        announce = true;
+      }
+    }
+    if (announce) {
+      dirty.clear();
+      announce_from(v, dirty);
+      for (const AsId w : dirty) {
+        if (!is_origin_[w]) enqueue(w);
+      }
+    }
+  }
+  result.converged = queue.empty();
+  return result;
+}
+
+RouteType ReferenceSimulator::route_type(AsId v) const {
+  if (is_origin_[v]) return RouteType::kOrigin;
+  if (!chosen_[v].has_value()) return RouteType::kNone;
+  const AsId nh = chosen_[v]->path.front();
+  const auto rel = g_.relation(v, nh);
+  switch (*rel) {
+    case Relation::kCustomer: return RouteType::kCustomer;
+    case Relation::kPeer: return RouteType::kPeer;
+    case Relation::kProvider: return RouteType::kProvider;
+  }
+  return RouteType::kNone;
+}
+
+bool ReferenceSimulator::secure_route(AsId v) const {
+  return !is_origin_[v] && chosen_[v].has_value() && validates(v) &&
+         chosen_[v]->via_sbgp;
+}
+
+bool ReferenceSimulator::routes_to_attacker(AsId v) const {
+  if (attacker_ == kNoAs) return false;
+  if (is_origin_[v]) return v == attacker_;
+  if (!chosen_[v].has_value()) return false;
+  const auto& p = chosen_[v]->path;
+  return std::find(p.begin(), p.end(), attacker_) != p.end();
+}
+
+}  // namespace sbgp::routing

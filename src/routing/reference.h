@@ -1,0 +1,124 @@
+// Reference path-vector BGP/S*BGP simulator.
+//
+// An explicit message-passing simulator: every AS keeps a RIB-in of the
+// latest announcement from each neighbor, repeatedly re-runs its decision
+// process, and re-announces on change, until a fixed point. It is orders of
+// magnitude slower than the staged engine but:
+//  * its correctness is self-evident from the model definition, so it
+//    serves as the oracle the staged engine is property-tested against
+//    (which simultaneously witnesses Theorem 2.1's unique stable state);
+//  * it supports what the engine deliberately does not: per-AS heterogeneous
+//    security placement (Section 2.3's BGP-wedgie analysis), the LPk
+//    local-preference variant (Appendix K), link failures, and incremental
+//    re-convergence after events.
+#ifndef SBGP_ROUTING_REFERENCE_H
+#define SBGP_ROUTING_REFERENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace sbgp::routing {
+
+using topology::AsGraph;
+using topology::Relation;
+
+/// A concrete announcement as received from a neighbor.
+struct RibEntry {
+  std::vector<AsId> path;  // path[0] = announcing neighbor, back() = origin
+  bool via_sbgp = false;   // received through an unbroken S*BGP chain
+};
+
+/// Result of `run`: whether the protocol converged within the step budget.
+struct ConvergenceResult {
+  bool converged = false;
+  std::size_t activations = 0;
+};
+
+class ReferenceSimulator {
+ public:
+  /// `model_of` may be empty (uniform model taken from the query) or hold
+  /// one SecurityModel per AS (heterogeneous policies; Section 2.3).
+  ReferenceSimulator(const AsGraph& g, Deployment deployment,
+                     LocalPrefPolicy lp = LocalPrefPolicy::standard(),
+                     std::vector<SecurityModel> model_of = {});
+
+  /// Clears all routing state (RIBs and choices).
+  void reset();
+
+  /// Installs the origins for query `q` (destination announcement, plus the
+  /// attacker's bogus "m, d" if present) and runs asynchronous activations
+  /// in a seeded random order until quiescence or `max_activations`.
+  /// May be called again after `set_link_enabled` to re-converge
+  /// incrementally (used by the wedgie dynamics).
+  ConvergenceResult run(const Query& q, std::uint64_t activation_seed,
+                        std::size_t max_activations = 2'000'000);
+
+  /// Enables/disables a link; takes effect at the next `run`.
+  /// Announcements previously received over a disabled link are withdrawn.
+  void set_link_enabled(AsId a, AsId b, bool enabled);
+
+  /// The route currently chosen by `v` (nullopt = no route). The path runs
+  /// from v's next hop to the origin.
+  [[nodiscard]] const std::optional<RibEntry>& chosen(AsId v) const {
+    return chosen_[v];
+  }
+
+  /// Relationship class of v's chosen route (kNone if none; kOrigin for the
+  /// roots themselves).
+  [[nodiscard]] RouteType route_type(AsId v) const;
+
+  /// True if v's chosen route was learned via an unbroken S*BGP chain and v
+  /// validates.
+  [[nodiscard]] bool secure_route(AsId v) const;
+
+  /// True if v currently routes to the attacker of the last query.
+  [[nodiscard]] bool routes_to_attacker(AsId v) const;
+
+  [[nodiscard]] const AsGraph& graph() const noexcept { return g_; }
+
+ private:
+  struct NeighborRef {
+    AsId id;
+    Relation rel;  // relation of neighbor as seen from the local AS
+  };
+
+  [[nodiscard]] bool link_enabled(AsId a, AsId b) const;
+  [[nodiscard]] bool validates(AsId v) const;
+  [[nodiscard]] SecurityModel model_at(AsId v) const;
+  /// Strictly-better-than comparison of two candidate routes at `v`.
+  [[nodiscard]] bool better(AsId v, const RibEntry& a, Relation rel_a,
+                            const RibEntry& b, Relation rel_b) const;
+  [[nodiscard]] std::optional<RibEntry> select_best(AsId v) const;
+  /// Sends v's current choice (or a withdrawal) to every neighbor, per Ex.
+  void announce_from(AsId v, std::vector<AsId>& dirty_out);
+
+  const AsGraph& g_;
+  Deployment dep_;
+  LocalPrefPolicy lp_;
+  std::vector<SecurityModel> model_of_;
+  SecurityModel uniform_model_ = SecurityModel::kInsecure;
+
+  std::vector<std::vector<NeighborRef>> nbrs_;  // per AS, with relations
+  // rib_[v] : neighbor id -> latest announcement from that neighbor.
+  std::vector<std::unordered_map<AsId, RibEntry>> rib_;
+  std::vector<std::optional<RibEntry>> chosen_;
+  std::vector<std::uint8_t> is_origin_;
+  std::unordered_set<std::uint64_t> disabled_links_;
+  // ASes adjacent to a link event; they must re-run selection and re-send
+  // their current routes at the next `run` even if their choice is stable.
+  std::vector<AsId> pending_events_;
+  std::vector<std::uint8_t> force_announce_;
+  AsId dest_ = kNoAs;
+  AsId attacker_ = kNoAs;
+};
+
+}  // namespace sbgp::routing
+
+#endif  // SBGP_ROUTING_REFERENCE_H

@@ -1,0 +1,274 @@
+// Reconstructions of the paper's worked examples (Figures 1, 2, 14, 15,
+// 17) as small concrete AS graphs with deployments. These "case studies"
+// are shared by the unit tests, the runnable examples and the phenomena
+// bench (Table 3): each encodes one mechanism the paper demonstrates on
+// empirically-observed ASes, reproduced here with the same roles, route
+// classes and path lengths.
+#ifndef SBGP_SECURITY_CASE_STUDIES_H
+#define SBGP_SECURITY_CASE_STUDIES_H
+
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::security::cases {
+
+using routing::Deployment;
+using topology::AsGraph;
+using topology::AsGraphBuilder;
+using topology::AsId;
+
+/// Figure 2: protocol downgrade attack on a Tier 1 destination.
+///
+/// Ids (paper AS): 0 = AS3356 Level3 (destination, Tier 1), 1 = AS21740
+/// eNom, 2 = AS174 Cogent (Tier 1), 3 = AS3491 PCCW, 4 = AS3536 DoD stub,
+/// 5 = attacker m.
+/// Edges: 21740 and 3536 are customers of 3356; 3491 is a customer of 174;
+/// m is a customer of 3491; 174--3356 and 174--21740 are peer links.
+struct Figure2 {
+  static constexpr AsId kLevel3 = 0;   // destination d
+  static constexpr AsId kENom = 1;
+  static constexpr AsId kCogent = 2;
+  static constexpr AsId kPccw = 3;
+  static constexpr AsId kDod = 4;
+  static constexpr AsId kAttacker = 5;
+  static constexpr std::size_t kN = 6;
+
+  [[nodiscard]] static AsGraph graph() {
+    AsGraphBuilder b(kN);
+    b.add_customer_provider(kENom, kLevel3);
+    b.add_customer_provider(kDod, kLevel3);
+    b.add_customer_provider(kPccw, kCogent);
+    b.add_customer_provider(kAttacker, kPccw);
+    b.add_peer_peer(kCogent, kLevel3);
+    b.add_peer_peer(kCogent, kENom);
+    return b.build();
+  }
+
+  /// The deployment used in the figure: "all T1s and their stubs and the
+  /// CPs secure" — here Level3, eNom, Cogent, DoD.
+  [[nodiscard]] static Deployment deployment() {
+    Deployment dep(kN);
+    dep.secure.insert(kLevel3);
+    dep.secure.insert(kENom);
+    dep.secure.insert(kCogent);
+    dep.secure.insert(kDod);
+    return dep;
+  }
+};
+
+/// Collateral damage via a *longer secure* route (the Figure 14 mechanism,
+/// security 2nd; AS 52142's fate). A victim source has two providers: one
+/// whose secure choice lengthens the legitimate path past the bogus one.
+///
+/// Ids: 0 = d, 1 = P1 (the AS 5617 role: secure, short insecure customer
+/// route and long secure customer route), 2 = c1 (short insecure detour),
+/// 3..6 = s1..s4 (secure chain), 7 = P2 (second provider), 8 = q (P2's
+/// customer), 9 = m (attacker), 10 = v (the AS 52142 role, insecure victim).
+struct CollateralDamage {
+  static constexpr AsId kD = 0;
+  static constexpr AsId kP1 = 1;
+  static constexpr AsId kC1 = 2;
+  static constexpr AsId kS1 = 3;
+  static constexpr AsId kS2 = 4;
+  static constexpr AsId kS3 = 5;
+  static constexpr AsId kS4 = 6;
+  static constexpr AsId kP2 = 7;
+  static constexpr AsId kQ = 8;
+  static constexpr AsId kM = 9;
+  static constexpr AsId kV = 10;
+  static constexpr std::size_t kN = 11;
+
+  [[nodiscard]] static AsGraph graph() {
+    AsGraphBuilder b(kN);
+    // Short insecure legitimate path: P1 <- c1 <- d (customer routes).
+    b.add_customer_provider(kC1, kP1);
+    b.add_customer_provider(kD, kC1);
+    // Long secure legitimate path: P1 <- s1 <- s2 <- s3 <- s4 <- d.
+    b.add_customer_provider(kS1, kP1);
+    b.add_customer_provider(kS2, kS1);
+    b.add_customer_provider(kS3, kS2);
+    b.add_customer_provider(kS4, kS3);
+    b.add_customer_provider(kD, kS4);
+    // Attacker side: P2 <- q <- m.
+    b.add_customer_provider(kQ, kP2);
+    b.add_customer_provider(kM, kQ);
+    // Victim v buys transit from both P1 and P2.
+    b.add_customer_provider(kV, kP1);
+    b.add_customer_provider(kV, kP2);
+    return b.build();
+  }
+
+  [[nodiscard]] static Deployment deployment() {
+    Deployment dep(kN);
+    for (const AsId v : {kD, kP1, kS1, kS2, kS3, kS4}) dep.secure.insert(v);
+    return dep;
+  }
+};
+
+/// Collateral benefit via an equal-length secure tiebreak (the Figure 15
+/// mechanism, security 3rd; AS 3267 / AS 34223 roles).
+///
+/// Ids: 0 = d, 1 = x (AS 3267 role, learns two equal-length peer routes:
+/// one legitimate, one bogus), 2 = u1 (peer toward d), 3 = u2 (peer toward
+/// m), 4 = m, 5 = cb (AS 34223 role, insecure customer of x), 6 = w
+/// (intermediate making the two peer routes the same length — the bogus
+/// path "m, d" carries the fake extra hop).
+struct CollateralBenefit {
+  static constexpr AsId kD = 0;
+  static constexpr AsId kX = 1;
+  static constexpr AsId kU1 = 2;
+  static constexpr AsId kU2 = 3;
+  static constexpr AsId kM = 4;
+  static constexpr AsId kCb = 5;
+  static constexpr AsId kW = 6;
+  static constexpr std::size_t kN = 7;
+
+  [[nodiscard]] static AsGraph graph() {
+    AsGraphBuilder b(kN);
+    b.add_customer_provider(kW, kU1);   // u1's customer route "w, d"
+    b.add_customer_provider(kD, kW);
+    b.add_customer_provider(kM, kU2);   // u2's bogus customer route "m, d"
+    b.add_peer_peer(kX, kU1);
+    b.add_peer_peer(kX, kU2);
+    b.add_customer_provider(kCb, kX);
+    return b.build();
+  }
+
+  [[nodiscard]] static Deployment deployment() {
+    Deployment dep(kN);
+    for (const AsId v : {kD, kW, kU1, kX}) dep.secure.insert(v);
+    return dep;
+  }
+};
+
+/// Collateral damage via the export rule (the Figure 17 mechanism, security
+/// 1st; AS 4805 / AS 7474 roles): a secure AS switches from a customer
+/// route (exported to peers) to a secure provider route (not exported), so
+/// its peer loses the legitimate route.
+///
+/// Ids: 0 = d, 1 = opt (AS 7474 Optus role), 2 = cc (Optus's customer
+/// chain), 3 = up (AS 7473, Optus's provider), 4 = orange (AS 4805 role),
+/// 5 = prov (AS 2647, Orange's provider), 6 = m.
+struct ExportDamage {
+  static constexpr AsId kD = 0;
+  static constexpr AsId kOptus = 1;
+  static constexpr AsId kCc = 2;
+  static constexpr AsId kUp = 3;
+  static constexpr AsId kOrange = 4;
+  static constexpr AsId kProv = 5;
+  static constexpr AsId kM = 6;
+  static constexpr std::size_t kN = 7;
+
+  [[nodiscard]] static AsGraph graph() {
+    AsGraphBuilder b(kN);
+    b.add_customer_provider(kCc, kOptus);  // customer route: optus <- cc <- d
+    b.add_customer_provider(kD, kCc);
+    b.add_customer_provider(kOptus, kUp);  // secure provider route: up <- d
+    b.add_customer_provider(kD, kUp);
+    b.add_peer_peer(kOrange, kOptus);
+    b.add_customer_provider(kOrange, kProv);
+    b.add_customer_provider(kM, kProv);
+    return b.build();
+  }
+
+  [[nodiscard]] static Deployment deployment() {
+    Deployment dep(kN);
+    // Orange itself stays insecure: collateral damage is a phenomenon of
+    // sources outside S (Section 6.1).
+    for (const AsId v : {kD, kOptus, kUp}) dep.secure.insert(v);
+    return dep;
+  }
+};
+
+/// Strict collateral benefit (the Figure 14 mechanism around Cogent AS 174
+/// and DoD AS 5166, security 2nd): before deployment, x strictly prefers
+/// the bogus customer route over its peer route to d, dragging its
+/// insecure customer cb down with it; after c and x secure, the (longer)
+/// secure customer route wins the SecP step and cb flips strictly from
+/// unhappy to happy.
+///
+/// Ids: 0 = d, 1 = x (AS 174 Cogent role), 2 = c (AS 3491 role), 3 = m,
+/// 4 = w, 5 = w2 (c's secure customer chain to d), 6 = cb (AS 5166 DoD
+/// role, insecure customer of x).
+struct CollateralBenefitStrict {
+  static constexpr AsId kD = 0;
+  static constexpr AsId kX = 1;
+  static constexpr AsId kC = 2;
+  static constexpr AsId kM = 3;
+  static constexpr AsId kW = 4;
+  static constexpr AsId kW2 = 5;
+  static constexpr AsId kCb = 6;
+  static constexpr std::size_t kN = 7;
+
+  [[nodiscard]] static AsGraph graph() {
+    AsGraphBuilder b(kN);
+    b.add_customer_provider(kC, kX);    // c sells the bogus route upward
+    b.add_customer_provider(kM, kC);    // m is c's customer
+    b.add_customer_provider(kW, kC);    // secure chain: c <- w <- w2 <- d
+    b.add_customer_provider(kW2, kW);
+    b.add_customer_provider(kD, kW2);
+    b.add_peer_peer(kX, kD);            // x's one-hop peer route to d
+    b.add_customer_provider(kCb, kX);   // the collateral beneficiary
+    return b.build();
+  }
+
+  [[nodiscard]] static Deployment deployment() {
+    Deployment dep(kN);
+    for (const AsId v : {kD, kX, kC, kW, kW2}) dep.secure.insert(v);
+    return dep;
+  }
+};
+
+/// Figure 1: the S*BGP wedgie under inconsistent SecP placement.
+///
+/// Ids (paper AS): 0 = AS3 (MIT, destination), 1 = AS31283 (Norwegian ISP,
+/// security 1st), 2 = AS29518 (Swedish ISP, security below LP), 3 = AS31027
+/// (Nianet; its link to AS3 is the one that fails), 4 = AS34226, 5 = AS8928
+/// (the only insecure AS).
+/// AS31283 is a customer of AS29518; its alternative (insecure, through
+/// AS8928) path runs via its customer AS34226. AS29518 reaches AS3 via its
+/// peer AS31027.
+struct Wedgie {
+  static constexpr AsId kMit = 0;       // destination d
+  static constexpr AsId kNorway = 1;    // AS31283, security 1st
+  static constexpr AsId kSweden = 2;    // AS29518, security 3rd
+  static constexpr AsId kNianet = 3;    // AS31027
+  static constexpr AsId kHungary = 4;   // AS34226
+  static constexpr AsId kInsecure = 5;  // AS8928
+  static constexpr std::size_t kN = 6;
+
+  [[nodiscard]] static AsGraph graph() {
+    AsGraphBuilder b(kN);
+    b.add_customer_provider(kNorway, kSweden);    // 31283 buys from 29518
+    b.add_peer_peer(kSweden, kNianet);            // 29518 -- 31027
+    b.add_customer_provider(kMit, kNianet);       // 31027's customer route to 3
+    b.add_customer_provider(kHungary, kNorway);   // insecure branch
+    b.add_customer_provider(kInsecure, kHungary);
+    b.add_customer_provider(kMit, kInsecure);
+    return b.build();
+  }
+
+  [[nodiscard]] static Deployment deployment() {
+    Deployment dep(kN);
+    for (AsId v = 0; v < kN; ++v) {
+      if (v != kInsecure) dep.secure.insert(v);
+    }
+    return dep;
+  }
+
+  /// Per-AS security placement: Norway ranks security 1st, everyone else
+  /// ranks it 3rd (below LP and SP).
+  [[nodiscard]] static std::vector<routing::SecurityModel> models() {
+    std::vector<routing::SecurityModel> m(kN,
+                                          routing::SecurityModel::kSecurityThird);
+    m[kNorway] = routing::SecurityModel::kSecurityFirst;
+    return m;
+  }
+};
+
+
+}  // namespace sbgp::security::cases
+
+#endif  // SBGP_SECURITY_CASE_STUDIES_H

@@ -1,0 +1,44 @@
+#include "security/collateral.h"
+
+namespace sbgp::security {
+
+CollateralStats count_collateral(const RoutingOutcome& baseline,
+                                 const RoutingOutcome& deployed,
+                                 const Deployment& dep, routing::AsId d,
+                                 routing::AsId m) {
+  using routing::HappyStatus;
+  CollateralStats s;
+  for (routing::AsId v = 0; v < baseline.num_ases(); ++v) {
+    if (v == d || v == m) continue;
+    if (dep.secure.contains(v) || dep.simplex.contains(v)) continue;
+    ++s.insecure_sources;
+    const auto before = baseline.happy(v);
+    const auto after = deployed.happy(v);
+    if (before == HappyStatus::kUnhappy && after == HappyStatus::kHappy) {
+      ++s.benefits;
+    } else if (before == HappyStatus::kHappy &&
+               after == HappyStatus::kUnhappy) {
+      ++s.damages;
+    }
+    if (before != HappyStatus::kHappy && after == HappyStatus::kHappy) {
+      ++s.benefits_upper;
+    } else if (before == HappyStatus::kHappy &&
+               after != HappyStatus::kHappy) {
+      ++s.damages_upper;
+    }
+  }
+  return s;
+}
+
+CollateralStats analyze_collateral(const AsGraph& g, routing::AsId d,
+                                   routing::AsId m,
+                                   routing::SecurityModel model,
+                                   const Deployment& dep) {
+  const auto baseline = routing::compute_routing(
+      g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {});
+  const auto deployed =
+      routing::compute_routing(g, routing::Query{d, m, model}, dep);
+  return count_collateral(baseline, deployed, dep, d, m);
+}
+
+}  // namespace sbgp::security

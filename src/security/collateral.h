@@ -1,0 +1,66 @@
+// Collateral benefits and damages (Section 6.1).
+//
+// Securing some ASes changes what *insecure* ASes hear and therefore
+// choose: an insecure source may flip from unhappy to happy (collateral
+// benefit — Figure 14's AS 5166, Figure 15's AS 34223) or, worse, from
+// happy to unhappy (collateral damage — Figure 14's AS 52142, Figure 17's
+// AS 4805). Theorem 6.1 rules damages out in the security 3rd model;
+// security is *not monotone* in the 1st and 2nd models.
+#ifndef SBGP_SECURITY_COLLATERAL_H
+#define SBGP_SECURITY_COLLATERAL_H
+
+#include <cstddef>
+
+#include "routing/engine.h"
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::security {
+
+using routing::Deployment;
+using routing::RoutingOutcome;
+using topology::AsGraph;
+
+/// Status flips of sources *outside* S between the baseline attack outcome
+/// (S = emptyset) and the deployed attack outcome (same attacker and
+/// destination). Counts are strict (lower bounds): a flip is only counted
+/// when both statuses are tie-break independent.
+struct CollateralStats {
+  std::size_t insecure_sources = 0;
+  std::size_t benefits = 0;  // strict: unhappy -> happy
+  std::size_t damages = 0;   // strict: happy -> unhappy
+  // Optimistic counters include tie-break-dependent flips (the paper's
+  // Figure 15 benefit exists only at this level: AS 3267 "tiebreaks in
+  // favor of the attacker" before deployment).
+  std::size_t benefits_upper = 0;  // not-happy -> happy
+  std::size_t damages_upper = 0;   // happy -> not-happy
+
+  CollateralStats& operator+=(const CollateralStats& o) {
+    insecure_sources += o.insecure_sources;
+    benefits += o.benefits;
+    damages += o.damages;
+    benefits_upper += o.benefits_upper;
+    damages_upper += o.damages_upper;
+    return *this;
+  }
+};
+
+/// Compares a baseline outcome (computed with S = emptyset) against the
+/// outcome under deployment `dep`, counting flips among sources that are
+/// neither secure nor simplex members of the deployment.
+[[nodiscard]] CollateralStats count_collateral(const RoutingOutcome& baseline,
+                                               const RoutingOutcome& deployed,
+                                               const Deployment& dep,
+                                               routing::AsId d,
+                                               routing::AsId m);
+
+/// Convenience wrapper computing both outcomes for attack (m on d).
+[[nodiscard]] CollateralStats analyze_collateral(const AsGraph& g,
+                                                 routing::AsId d,
+                                                 routing::AsId m,
+                                                 routing::SecurityModel model,
+                                                 const Deployment& dep);
+
+}  // namespace sbgp::security
+
+#endif  // SBGP_SECURITY_COLLATERAL_H

@@ -1,0 +1,29 @@
+#include "security/downgrade.h"
+
+namespace sbgp::security {
+
+DowngradeStats analyze_downgrades(const AsGraph& g, AsId d, AsId m,
+                                  routing::SecurityModel model,
+                                  const Deployment& dep) {
+  const auto normal =
+      routing::compute_routing(g, Query{d, routing::kNoAs, model}, dep);
+  const auto attacked = routing::compute_routing(g, Query{d, m, model}, dep);
+  const auto cls = classify_sources(g, d, m, model);
+
+  DowngradeStats s;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (v == d || v == m) continue;
+    ++s.sources;
+    const bool before = normal.secure_route(v);
+    const bool during = attacked.secure_route(v);
+    if (before) ++s.secure_normal;
+    if (before && !during) ++s.downgraded;
+    if (during) {
+      ++s.secure_kept;
+      if (cls[v] == PartitionClass::kImmune) ++s.kept_and_immune;
+    }
+  }
+  return s;
+}
+
+}  // namespace sbgp::security

@@ -1,0 +1,26 @@
+#include "security/happiness.h"
+
+namespace sbgp::security {
+
+HappyCount count_happy(const RoutingOutcome& out, AsId d, AsId m) {
+  HappyCount c;
+  for (AsId v = 0; v < out.num_ases(); ++v) {
+    if (v == d || v == m) continue;
+    ++c.sources;
+    switch (out.happy(v)) {
+      case routing::HappyStatus::kHappy:
+        ++c.happy_lower;
+        ++c.happy_upper;
+        break;
+      case routing::HappyStatus::kEither:
+        ++c.happy_upper;
+        break;
+      case routing::HappyStatus::kUnhappy:
+      case routing::HappyStatus::kDisconnected:
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace sbgp::security

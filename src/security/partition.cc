@@ -1,0 +1,156 @@
+#include "security/partition.h"
+
+#include <stdexcept>
+
+#include "routing/baseline.h"
+
+namespace sbgp::security {
+
+namespace {
+
+using routing::PerceivableDistances;
+using routing::perceivable_distances;
+
+}  // namespace
+
+std::vector<PartitionClass> classify_sources(const AsGraph& g, AsId d, AsId m,
+                                             SecurityModel model,
+                                             LocalPrefPolicy lp) {
+  if (model == SecurityModel::kInsecure) {
+    throw std::invalid_argument(
+        "classify_sources: partitions are defined for S*BGP models only");
+  }
+  if (d >= g.num_ases() || m >= g.num_ases() || d == m) {
+    throw std::invalid_argument("classify_sources: bad (d, m) pair");
+  }
+  const std::size_t n = g.num_ases();
+  std::vector<PartitionClass> cls(n, PartitionClass::kProtectable);
+  cls[d] = PartitionClass::kImmune;
+  cls[m] = PartitionClass::kDoomed;
+
+  if (model == SecurityModel::kSecurityFirst) {
+    // Exact tests (Observations E.3/E.4): doomed iff d is perceivably
+    // unreachable once m is removed; immune if m is perceivably unreachable
+    // once d is removed.
+    const auto to_d_avoiding_m = perceivable_distances(g, d, 0, m);
+    const auto to_m_avoiding_d = perceivable_distances(g, m, 0, d);
+    for (AsId v = 0; v < n; ++v) {
+      if (v == d || v == m) continue;
+      if (!to_d_avoiding_m.reachable(v)) {
+        cls[v] = PartitionClass::kDoomed;
+      } else if (!to_m_avoiding_d.reachable(v)) {
+        cls[v] = PartitionClass::kImmune;
+      }
+    }
+    return cls;
+  }
+
+  if (model == SecurityModel::kSecurityThird) {
+    // Appendix E.1: route class *and length* are deployment-invariant in
+    // the security 3rd model, so the tie sets of the S = emptyset stable
+    // state decide the partition: an AS whose most-preferred routes all
+    // lead to d (resp. m) is immune (resp. doomed); mixed ties are
+    // protectable. Perceivable shortest lengths are NOT a substitute: LP
+    // can prefer longer routes upstream, making the shortest perceivable
+    // length unattainable.
+    const auto base = routing::compute_baseline(g, d, m, lp);
+    for (AsId v = 0; v < n; ++v) {
+      if (v == d || v == m) continue;
+      const bool rd = base.reaches_destination(v);
+      const bool rm = base.reaches_attacker(v);
+      if (rd && !rm) {
+        cls[v] = PartitionClass::kImmune;
+      } else if (!rd) {
+        // Routes only to m, or no route at all: never happy.
+        cls[v] = PartitionClass::kDoomed;
+      } else {
+        cls[v] = PartitionClass::kProtectable;
+      }
+    }
+    return cls;
+  }
+
+  // Security 2nd (Appendix E.2): only the route's LP class (the ladder
+  // rung) is deployment-invariant, so the paper tracks every route of the
+  // chosen rung that remains in the *pruned* PR set of the S = emptyset
+  // computation — i.e. the routes actually available given other ASes'
+  // stable choices. An AS whose available same-rung routes all lead to d
+  // (resp. m) is immune (resp. doomed). This is the paper's own
+  // approximation: unlike the 1st/3rd classifications it is heuristic —
+  // collateral benefits/damages at *other* ASes can, rarely, cross it
+  // (Section 6.1 is precisely about such flips; see DESIGN.md).
+  const auto base = routing::compute_baseline(g, d, m, lp);
+  for (AsId v = 0; v < n; ++v) {
+    if (v == d || v == m) continue;
+    if (!base.has_route(v)) {
+      cls[v] = PartitionClass::kDoomed;  // can never be happy
+      continue;
+    }
+    const std::uint32_t own_rung =
+        [&] {
+          switch (base.type(v)) {
+            case routing::RouteType::kCustomer:
+              return routing::lp_rung(lp, topology::Relation::kCustomer,
+                                      base.length(v));
+            case routing::RouteType::kPeer:
+              return routing::lp_rung(lp, topology::Relation::kPeer,
+                                      base.length(v));
+            default:
+              return routing::lp_rung(lp, topology::Relation::kProvider,
+                                      base.length(v));
+          }
+        }();
+
+    bool reach_d = false;
+    bool reach_m = false;
+    const auto consider = [&](AsId u, topology::Relation rel) {
+      if (!base.has_route(u)) return;
+      // Export rule: customer routes and origins propagate everywhere;
+      // peer/provider routes only to customers.
+      const bool exports_here =
+          rel == topology::Relation::kProvider ||
+          base.type(u) == routing::RouteType::kOrigin ||
+          base.type(u) == routing::RouteType::kCustomer;
+      if (!exports_here) return;
+      if (routing::lp_rung(lp, rel, base.length(u) + 1u) != own_rung) return;
+      reach_d |= base.reaches_destination(u);
+      reach_m |= base.reaches_attacker(u);
+    };
+    for (const AsId u : g.customers(v)) consider(u, topology::Relation::kCustomer);
+    for (const AsId u : g.peers(v)) consider(u, topology::Relation::kPeer);
+    for (const AsId u : g.providers(v)) consider(u, topology::Relation::kProvider);
+
+    if (reach_d && !reach_m) {
+      cls[v] = PartitionClass::kImmune;
+    } else if (reach_m && !reach_d) {
+      cls[v] = PartitionClass::kDoomed;
+    } else {
+      cls[v] = PartitionClass::kProtectable;
+    }
+  }
+  return cls;
+}
+
+PartitionShares to_shares(const std::vector<PartitionClass>& cls, AsId d,
+                          AsId m) {
+  PartitionShares s;
+  std::size_t sources = 0;
+  for (AsId v = 0; v < cls.size(); ++v) {
+    if (v == d || v == m) continue;
+    ++sources;
+    switch (cls[v]) {
+      case PartitionClass::kDoomed: s.doomed += 1.0; break;
+      case PartitionClass::kProtectable: s.protectable += 1.0; break;
+      case PartitionClass::kImmune: s.immune += 1.0; break;
+    }
+  }
+  if (sources > 0) s /= static_cast<double>(sources);
+  return s;
+}
+
+PartitionShares partition_shares(const AsGraph& g, AsId d, AsId m,
+                                 SecurityModel model, LocalPrefPolicy lp) {
+  return to_shares(classify_sources(g, d, m, model, lp), d, m);
+}
+
+}  // namespace sbgp::security

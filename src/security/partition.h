@@ -1,0 +1,85 @@
+// Deployment-invariant partitions: doomed / protectable / immune
+// (Sections 4.3-4.4, Appendix E).
+//
+// For a fixed (attacker m, destination d) every source AS falls into one of
+// three classes *independently of which ASes deploy S*BGP*:
+//   doomed       routes to m for every deployment S,
+//   immune       routes to d for every deployment S,
+//   protectable  the outcome depends on S.
+// Averaging immune (resp. not-doomed) fractions over pairs yields the lower
+// (resp. upper) bound on H_{M,D}(S) over *all* S — the paper's Figure 3.
+//
+// Classification needs only perceivable-route structure:
+//   security 3rd  compare best (LP class, length) toward d vs m (Cor. E.1);
+//   security 2nd  compare best LP class toward d vs m (Cor. E.2);
+//   security 1st  exact cut tests: doomed iff every perceivable route to d
+//                 passes through m; immune iff every perceivable route to m
+//                 passes through d (Observations E.3/E.4 — the paper
+//                 approximates "everyone protectable"; we compute both).
+// The LPk local-preference variant (Appendix K) replaces the LP class with
+// the interleaved customer/peer rung ladder.
+#ifndef SBGP_SECURITY_PARTITION_H
+#define SBGP_SECURITY_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/model.h"
+#include "routing/reach.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::security {
+
+using routing::LocalPrefPolicy;
+using routing::SecurityModel;
+using topology::AsGraph;
+using topology::AsId;
+
+enum class PartitionClass : std::uint8_t {
+  kDoomed = 0,
+  kProtectable = 1,
+  kImmune = 2,
+};
+
+/// Fractions over sources; always sum to 1 (over |V| - 2 sources).
+struct PartitionShares {
+  double doomed = 0.0;
+  double protectable = 0.0;
+  double immune = 0.0;
+
+  PartitionShares& operator+=(const PartitionShares& o) {
+    doomed += o.doomed;
+    protectable += o.protectable;
+    immune += o.immune;
+    return *this;
+  }
+  PartitionShares& operator/=(double k) {
+    doomed /= k;
+    protectable /= k;
+    immune /= k;
+    return *this;
+  }
+};
+
+/// Per-source classes for the pair (m, d). Entries for d and m themselves
+/// are kImmune / kDoomed placeholders and excluded from share counts.
+/// Sources that cannot perceivably reach either root are classified doomed
+/// (they can never be happy). For kSecurityFirst the exact tests are used.
+/// The baseline model (kInsecure) is rejected: partitions are only defined
+/// for the three S*BGP models.
+[[nodiscard]] std::vector<PartitionClass> classify_sources(
+    const AsGraph& g, AsId d, AsId m, SecurityModel model,
+    LocalPrefPolicy lp = LocalPrefPolicy::standard());
+
+/// Aggregates a per-source classification into fractions (excluding d, m).
+[[nodiscard]] PartitionShares to_shares(const std::vector<PartitionClass>& cls,
+                                        AsId d, AsId m);
+
+/// Convenience: classify + aggregate.
+[[nodiscard]] PartitionShares partition_shares(
+    const AsGraph& g, AsId d, AsId m, SecurityModel model,
+    LocalPrefPolicy lp = LocalPrefPolicy::standard());
+
+}  // namespace sbgp::security
+
+#endif  // SBGP_SECURITY_PARTITION_H

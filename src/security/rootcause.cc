@@ -1,0 +1,53 @@
+#include "security/rootcause.h"
+
+#include "routing/engine.h"
+
+namespace sbgp::security {
+
+RootCauseStats analyze_root_causes(const AsGraph& g, routing::AsId d,
+                                   routing::AsId m,
+                                   routing::SecurityModel model,
+                                   const Deployment& dep) {
+  using routing::HappyStatus;
+  const auto normal =
+      routing::compute_routing(g, routing::Query{d, routing::kNoAs, model}, dep);
+  const auto attacked =
+      routing::compute_routing(g, routing::Query{d, m, model}, dep);
+  const auto baseline = routing::compute_routing(
+      g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {});
+
+  RootCauseStats s;
+  for (routing::AsId v = 0; v < g.num_ases(); ++v) {
+    if (v == d || v == m) continue;
+    ++s.sources;
+    const bool happy0 = baseline.happy(v) == HappyStatus::kHappy;
+    const bool happy1 = attacked.happy(v) == HappyStatus::kHappy;
+    if (happy0) ++s.happy_baseline;
+    if (happy1) ++s.happy_deployed;
+
+    if (normal.secure_route(v)) {
+      ++s.secure_normal;
+      if (!attacked.secure_route(v)) {
+        ++s.downgraded;
+      } else if (happy0) {
+        ++s.secure_wasted;
+      } else {
+        ++s.secure_protecting;
+      }
+    }
+    const bool outside =
+        !dep.secure.contains(v) && !dep.simplex.contains(v);
+    if (outside) {
+      const auto b = baseline.happy(v);
+      const auto a = attacked.happy(v);
+      if (b == HappyStatus::kUnhappy && a == HappyStatus::kHappy) {
+        ++s.collateral_benefits;
+      } else if (b == HappyStatus::kHappy && a == HappyStatus::kUnhappy) {
+        ++s.collateral_damages;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace sbgp::security

@@ -1,0 +1,70 @@
+// Root-cause decomposition of metric changes (Section 6.2, Figure 16).
+//
+// The change in the security metric going from S = emptyset to a deployment
+// S decomposes as
+//   (secure routes protecting previously-unhappy sources)
+//   + (collateral benefits)
+//   - (collateral damages)
+// with two further classes of secure routes that do NOT move the metric:
+//   - secure routes lost to protocol downgrades, and
+//   - secure routes "wasted" on sources that were already happy without
+//     S*BGP.
+// Figure 16 stacks these per model; this module computes one pair's worth.
+#ifndef SBGP_SECURITY_ROOTCAUSE_H
+#define SBGP_SECURITY_ROOTCAUSE_H
+
+#include <cstddef>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::security {
+
+using routing::Deployment;
+using topology::AsGraph;
+
+/// All counts are over sources (excluding d, m); fractions are obtained by
+/// dividing by `sources`. "Happy" uses the strict lower-bound status.
+struct RootCauseStats {
+  std::size_t sources = 0;
+  std::size_t secure_normal = 0;      // secure routes before the attack
+  std::size_t downgraded = 0;         // lost to protocol downgrade
+  std::size_t secure_wasted = 0;      // kept, but source was happy at S=empty
+  std::size_t secure_protecting = 0;  // kept, source was NOT happy at S=empty
+  std::size_t collateral_benefits = 0;
+  std::size_t collateral_damages = 0;
+  std::size_t happy_baseline = 0;  // strictly happy at S=empty
+  std::size_t happy_deployed = 0;  // strictly happy under S
+
+  RootCauseStats& operator+=(const RootCauseStats& o) {
+    sources += o.sources;
+    secure_normal += o.secure_normal;
+    downgraded += o.downgraded;
+    secure_wasted += o.secure_wasted;
+    secure_protecting += o.secure_protecting;
+    collateral_benefits += o.collateral_benefits;
+    collateral_damages += o.collateral_damages;
+    happy_baseline += o.happy_baseline;
+    happy_deployed += o.happy_deployed;
+    return *this;
+  }
+
+  [[nodiscard]] double metric_change() const {
+    return sources == 0 ? 0.0
+                        : (static_cast<double>(happy_deployed) -
+                           static_cast<double>(happy_baseline)) /
+                              static_cast<double>(sources);
+  }
+};
+
+/// Runs the three routing computations (normal with S, attacked with S,
+/// attacked with S = emptyset) and buckets every source.
+[[nodiscard]] RootCauseStats analyze_root_causes(const AsGraph& g,
+                                                 routing::AsId d,
+                                                 routing::AsId m,
+                                                 routing::SecurityModel model,
+                                                 const Deployment& dep);
+
+}  // namespace sbgp::security
+
+#endif  // SBGP_SECURITY_ROOTCAUSE_H

@@ -1,0 +1,33 @@
+// Deterministic data-parallel helper.
+//
+// The paper parallelized its O(|M||D|(V+E)) computations with MPI on a
+// BlueGene (Appendix H); we use shared-memory threads. Each work item
+// writes only its own result slot and reduction happens sequentially, so
+// results are bit-for-bit identical for any thread count.
+#ifndef SBGP_SIM_PARALLEL_H
+#define SBGP_SIM_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sbgp::sim {
+
+/// Number of worker threads to use by default.
+[[nodiscard]] inline std::size_t default_threads() {
+  const auto hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+/// Runs fn(i) for every i in [0, count) across `threads` workers using
+/// dynamic (atomic counter) scheduling. Rethrows the first exception raised
+/// by any worker.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = default_threads());
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_PARALLEL_H

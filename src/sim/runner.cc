@@ -1,0 +1,174 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/parallel.h"
+#include "util/rng.h"
+
+namespace sbgp::sim {
+
+namespace {
+
+/// Flattens (attacker, destination) pairs, skipping m == d, and applies
+/// `fn(m, d, slot)` in parallel; one result slot per valid pair.
+template <typename Result, typename Fn>
+std::vector<Result> map_pairs(const std::vector<AsId>& attackers,
+                              const std::vector<AsId>& destinations,
+                              const RunnerOptions& opts, Fn fn) {
+  if (attackers.empty() || destinations.empty()) {
+    throw std::invalid_argument("map_pairs: empty attacker/destination set");
+  }
+  struct Pair {
+    AsId m;
+    AsId d;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(attackers.size() * destinations.size());
+  for (const AsId m : attackers) {
+    for (const AsId d : destinations) {
+      if (m != d) pairs.push_back({m, d});
+    }
+  }
+  std::vector<Result> results(pairs.size());
+  parallel_for(
+      pairs.size(),
+      [&](std::size_t i) { results[i] = fn(pairs[i].m, pairs[i].d); },
+      opts.threads == 0 ? default_threads() : opts.threads);
+  return results;
+}
+
+}  // namespace
+
+std::vector<AsId> sample_ases(const std::vector<AsId>& pool,
+                              std::size_t max_count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto n = static_cast<std::uint32_t>(pool.size());
+  const auto k = static_cast<std::uint32_t>(std::min<std::size_t>(max_count, n));
+  std::vector<AsId> out;
+  out.reserve(k);
+  for (const auto idx : rng.sample_without_replacement(n, k)) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+std::vector<AsId> all_ases(const AsGraph& g) {
+  std::vector<AsId> out(g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) out[v] = v;
+  return out;
+}
+
+std::vector<AsId> non_stub_ases(const AsGraph& g) {
+  std::vector<AsId> out;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (!g.is_stub(v)) out.push_back(v);
+  }
+  return out;
+}
+
+MetricBounds estimate_metric(const AsGraph& g,
+                             const std::vector<AsId>& attackers,
+                             const std::vector<AsId>& destinations,
+                             SecurityModel model, const Deployment& dep,
+                             const RunnerOptions& opts) {
+  const auto per_pair = map_pairs<MetricBounds>(
+      attackers, destinations, opts, [&](AsId m, AsId d) {
+        const auto out = routing::compute_routing(g, {d, m, model}, dep);
+        const auto c = security::count_happy(out, d, m);
+        return MetricBounds{c.lower_fraction(), c.upper_fraction()};
+      });
+  MetricBounds total;
+  for (const auto& b : per_pair) total += b;
+  total /= static_cast<double>(per_pair.size());
+  return total;
+}
+
+std::vector<MetricBounds> metric_per_destination(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, SecurityModel model,
+    const Deployment& dep, const RunnerOptions& opts) {
+  std::vector<MetricBounds> out(destinations.size());
+  std::vector<std::size_t> counts(destinations.size(), 0);
+  const auto per_pair = map_pairs<MetricBounds>(
+      attackers, destinations, opts, [&](AsId m, AsId d) {
+        const auto o = routing::compute_routing(g, {d, m, model}, dep);
+        const auto c = security::count_happy(o, d, m);
+        return MetricBounds{c.lower_fraction(), c.upper_fraction()};
+      });
+  // Pairs are attacker-major; reduce back onto destination indices.
+  std::size_t i = 0;
+  for (std::size_t a = 0; a < attackers.size(); ++a) {
+    for (std::size_t di = 0; di < destinations.size(); ++di) {
+      if (attackers[a] == destinations[di]) continue;
+      out[di] += per_pair[i++];
+      ++counts[di];
+    }
+  }
+  for (std::size_t di = 0; di < destinations.size(); ++di) {
+    if (counts[di] > 0) out[di] /= static_cast<double>(counts[di]);
+  }
+  return out;
+}
+
+PartitionShares average_partitions(const AsGraph& g,
+                                   const std::vector<AsId>& attackers,
+                                   const std::vector<AsId>& destinations,
+                                   SecurityModel model, LocalPrefPolicy lp,
+                                   const RunnerOptions& opts) {
+  const auto per_pair = map_pairs<PartitionShares>(
+      attackers, destinations, opts, [&](AsId m, AsId d) {
+        return security::partition_shares(g, d, m, model, lp);
+      });
+  PartitionShares total;
+  for (const auto& s : per_pair) total += s;
+  total /= static_cast<double>(per_pair.size());
+  return total;
+}
+
+security::DowngradeStats total_downgrades(const AsGraph& g,
+                                          const std::vector<AsId>& attackers,
+                                          const std::vector<AsId>& destinations,
+                                          SecurityModel model,
+                                          const Deployment& dep,
+                                          const RunnerOptions& opts) {
+  const auto per_pair = map_pairs<security::DowngradeStats>(
+      attackers, destinations, opts, [&](AsId m, AsId d) {
+        return security::analyze_downgrades(g, d, m, model, dep);
+      });
+  security::DowngradeStats total;
+  for (const auto& s : per_pair) total += s;
+  return total;
+}
+
+security::CollateralStats total_collateral(const AsGraph& g,
+                                           const std::vector<AsId>& attackers,
+                                           const std::vector<AsId>& destinations,
+                                           SecurityModel model,
+                                           const Deployment& dep,
+                                           const RunnerOptions& opts) {
+  const auto per_pair = map_pairs<security::CollateralStats>(
+      attackers, destinations, opts, [&](AsId m, AsId d) {
+        return security::analyze_collateral(g, d, m, model, dep);
+      });
+  security::CollateralStats total;
+  for (const auto& s : per_pair) total += s;
+  return total;
+}
+
+security::RootCauseStats total_root_causes(const AsGraph& g,
+                                           const std::vector<AsId>& attackers,
+                                           const std::vector<AsId>& destinations,
+                                           SecurityModel model,
+                                           const Deployment& dep,
+                                           const RunnerOptions& opts) {
+  const auto per_pair = map_pairs<security::RootCauseStats>(
+      attackers, destinations, opts, [&](AsId m, AsId d) {
+        return security::analyze_root_causes(g, d, m, model, dep);
+      });
+  security::RootCauseStats total;
+  for (const auto& s : per_pair) total += s;
+  return total;
+}
+
+}  // namespace sbgp::sim

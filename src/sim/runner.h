@@ -1,0 +1,93 @@
+// Experiment runners: estimate the paper's aggregate quantities by
+// averaging per-(attacker, destination) analyses over sampled pairs.
+//
+// The paper evaluates over all |V|^2 pairs on a supercomputer; we sample
+// deterministically (seeded) from the chosen attacker set M and destination
+// set D — the metric is a mean over pairs, so a few thousand samples
+// estimate it tightly. Every runner is parallel over pairs and returns
+// thread-count-independent results.
+#ifndef SBGP_SIM_RUNNER_H
+#define SBGP_SIM_RUNNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/engine.h"
+#include "routing/model.h"
+#include "security/collateral.h"
+#include "security/downgrade.h"
+#include "security/happiness.h"
+#include "security/partition.h"
+#include "security/rootcause.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::sim {
+
+using routing::AsId;
+using routing::Deployment;
+using routing::LocalPrefPolicy;
+using routing::SecurityModel;
+using security::MetricBounds;
+using security::PartitionShares;
+using topology::AsGraph;
+
+struct RunnerOptions {
+  std::size_t threads = 0;  // 0 = default_threads()
+};
+
+/// Deterministically samples up to `max_count` ASes from `pool` (the whole
+/// pool, shuffled, if it is smaller).
+[[nodiscard]] std::vector<AsId> sample_ases(const std::vector<AsId>& pool,
+                                            std::size_t max_count,
+                                            std::uint64_t seed);
+
+/// All ASes [0, n).
+[[nodiscard]] std::vector<AsId> all_ases(const AsGraph& g);
+
+/// Non-stub ASes — the attacker set M' of Section 5.2 (stubs are assumed
+/// to be stopped by prefix filtering).
+[[nodiscard]] std::vector<AsId> non_stub_ases(const AsGraph& g);
+
+/// H_{M,D}(S): average fraction of happy sources over attackers x
+/// destinations, with tie-break lower/upper bounds (Section 4.1).
+[[nodiscard]] MetricBounds estimate_metric(const AsGraph& g,
+                                           const std::vector<AsId>& attackers,
+                                           const std::vector<AsId>& destinations,
+                                           SecurityModel model,
+                                           const Deployment& dep,
+                                           const RunnerOptions& opts = {});
+
+/// H_{M,d}(S) for each destination d (averaged over the attackers only).
+[[nodiscard]] std::vector<MetricBounds> metric_per_destination(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, SecurityModel model,
+    const Deployment& dep, const RunnerOptions& opts = {});
+
+/// Average doomed/protectable/immune shares over pairs (Figure 3 bars).
+[[nodiscard]] PartitionShares average_partitions(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, SecurityModel model,
+    LocalPrefPolicy lp = LocalPrefPolicy::standard(),
+    const RunnerOptions& opts = {});
+
+/// Aggregate downgrade statistics over pairs (Figures 13, 16).
+[[nodiscard]] security::DowngradeStats total_downgrades(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, SecurityModel model,
+    const Deployment& dep, const RunnerOptions& opts = {});
+
+/// Aggregate collateral statistics over pairs (Table 3).
+[[nodiscard]] security::CollateralStats total_collateral(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, SecurityModel model,
+    const Deployment& dep, const RunnerOptions& opts = {});
+
+/// Aggregate root-cause decomposition over pairs (Figure 16).
+[[nodiscard]] security::RootCauseStats total_root_causes(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, SecurityModel model,
+    const Deployment& dep, const RunnerOptions& opts = {});
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_RUNNER_H

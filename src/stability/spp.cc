@@ -1,0 +1,218 @@
+#include "stability/spp.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <stdexcept>
+
+namespace sbgp::stability {
+
+namespace {
+
+using topology::Relation;
+
+struct Instance {
+  const AsGraph& g;
+  const Deployment& dep;
+  const std::vector<SecurityModel>& model_of;
+  LocalPrefPolicy lp;
+  AsId d;
+  AsId m;  // kNoAs when absent
+
+  [[nodiscard]] bool is_origin(AsId v) const { return v == d || v == m; }
+
+  [[nodiscard]] SecurityModel model_at(AsId v) const { return model_of[v]; }
+
+  [[nodiscard]] bool validates(AsId v) const {
+    return model_at(v) != SecurityModel::kInsecure && dep.validates(v);
+  }
+
+  /// Is the (loop-free) path fully secure as seen by `v`? Requires v to
+  /// validate, every transit AS to validate, the origin to sign, and the
+  /// path to be the legitimate one (the bogus path contains m).
+  [[nodiscard]] bool path_secure(AsId v, const std::vector<AsId>& path) const {
+    if (!validates(v)) return false;
+    if (path.back() != d) return false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] == m) return false;
+      if (!dep.validates(path[i])) return false;
+    }
+    return dep.signs_origin(d);
+  }
+
+  /// Preference key (smaller = better) of a candidate path at `v`.
+  [[nodiscard]] std::array<std::uint64_t, 4> key(
+      AsId v, const std::vector<AsId>& path) const {
+    const auto rel = g.relation(v, path.front());
+    const std::uint32_t rung = routing::lp_rung(lp, *rel, path.size());
+    const std::uint64_t insec = path_secure(v, path) ? 0 : 1;
+    const std::uint64_t len = path.size();
+    const std::uint64_t nh = path.front();
+    switch (model_at(v)) {
+      case SecurityModel::kInsecure: return {rung, len, nh, 0};
+      case SecurityModel::kSecurityFirst: return {insec, rung, len, nh};
+      case SecurityModel::kSecuritySecond: return {rung, insec, len, nh};
+      case SecurityModel::kSecurityThird: return {rung, len, insec, nh};
+    }
+    return {rung, len, nh, 0};
+  }
+
+  /// What `u` announces to `v` under assignment A (nullopt = nothing).
+  [[nodiscard]] std::optional<std::vector<AsId>> announced(
+      const std::vector<RouteChoice>& a, AsId u, AsId v) const {
+    std::vector<AsId> path;
+    bool via_customer = false;
+    if (u == d) {
+      path = {d};
+      via_customer = true;  // origins announce to everyone
+    } else if (u == m) {
+      path = {m, d};
+      via_customer = true;
+    } else if (a[u].has_value()) {
+      path.reserve(a[u]->size() + 1);
+      path.push_back(u);
+      path.insert(path.end(), a[u]->begin(), a[u]->end());
+      via_customer = g.relation(u, a[u]->front()) == Relation::kCustomer;
+    } else {
+      return std::nullopt;
+    }
+    // Export rule Ex plus receiver-side loop rejection.
+    const bool to_customer = g.relation(u, v) == Relation::kCustomer;
+    if (!via_customer && !to_customer) return std::nullopt;
+    if (std::find(path.begin(), path.end(), v) != path.end()) {
+      return std::nullopt;
+    }
+    return path;
+  }
+
+  /// Best response of `v` given everyone else's assignment.
+  [[nodiscard]] RouteChoice best_response(const std::vector<RouteChoice>& a,
+                                          AsId v) const {
+    RouteChoice best;
+    std::array<std::uint64_t, 4> best_key{};
+    for (const AsId u : g.neighbors(v)) {
+      auto path = announced(a, u, v);
+      if (!path.has_value()) continue;
+      const auto k = key(v, *path);
+      if (!best.has_value() || k < best_key) {
+        best = std::move(path);
+        best_key = k;
+      }
+    }
+    return best;
+  }
+};
+
+/// All perceivable routes per AS, discovered by forward propagation from
+/// the origins under the export rule (Definition B.1).
+std::vector<std::vector<std::vector<AsId>>> perceivable_routes(
+    const Instance& inst) {
+  const std::size_t n = inst.g.num_ases();
+  std::vector<std::vector<std::vector<AsId>>> routes(n);
+  std::deque<std::pair<AsId, std::vector<AsId>>> queue;
+
+  const auto seed = [&](AsId origin, std::vector<AsId> announcement) {
+    for (const AsId v : inst.g.neighbors(origin)) {
+      if (std::find(announcement.begin(), announcement.end(), v) !=
+          announcement.end()) {
+        continue;
+      }
+      if (inst.is_origin(v)) continue;
+      queue.emplace_back(v, announcement);
+    }
+  };
+  seed(inst.d, {inst.d});
+  if (inst.m != routing::kNoAs) seed(inst.m, {inst.m, inst.d});
+
+  while (!queue.empty()) {
+    auto [v, path] = std::move(queue.front());
+    queue.pop_front();
+    auto& known = routes[v];
+    if (std::find(known.begin(), known.end(), path) != known.end()) continue;
+    known.push_back(path);
+    if (known.size() > 64) {
+      throw std::invalid_argument(
+          "enumerate_stable_states: perceivable route explosion");
+    }
+    // Propagate [v] + path to neighbors allowed by Ex.
+    const bool via_customer =
+        inst.g.relation(v, path.front()) == Relation::kCustomer;
+    std::vector<AsId> extended;
+    extended.reserve(path.size() + 1);
+    extended.push_back(v);
+    extended.insert(extended.end(), path.begin(), path.end());
+    for (const AsId w : inst.g.neighbors(v)) {
+      if (inst.is_origin(w)) continue;
+      const bool to_customer = inst.g.relation(v, w) == Relation::kCustomer;
+      if (!via_customer && !to_customer) continue;
+      if (std::find(extended.begin(), extended.end(), w) != extended.end()) {
+        continue;
+      }
+      queue.emplace_back(w, extended);
+    }
+  }
+  return routes;
+}
+
+}  // namespace
+
+std::vector<StableState> enumerate_stable_states(
+    const AsGraph& g, const Query& q, const Deployment& dep,
+    std::vector<SecurityModel> model_of, LocalPrefPolicy lp,
+    std::uint64_t max_assignments) {
+  if (model_of.empty()) {
+    model_of.assign(g.num_ases(), q.model);
+  } else if (model_of.size() != g.num_ases()) {
+    throw std::invalid_argument("enumerate_stable_states: model_of size");
+  }
+  const Instance inst{g, dep, model_of, lp, q.destination, q.attacker};
+  const auto routes = perceivable_routes(inst);
+
+  // Assignment space: per non-origin AS, each perceivable route or none.
+  std::uint64_t space = 1;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (inst.is_origin(v)) continue;
+    space *= routes[v].size() + 1;
+    if (space > max_assignments) {
+      throw std::invalid_argument(
+          "enumerate_stable_states: assignment space too large");
+    }
+  }
+
+  std::vector<StableState> stable;
+  std::vector<std::size_t> counter(g.num_ases(), 0);  // 0 = none, i+1 = route i
+  while (true) {
+    // Materialize and check the current assignment.
+    StableState state;
+    state.route.resize(g.num_ases());
+    for (AsId v = 0; v < g.num_ases(); ++v) {
+      if (inst.is_origin(v) || counter[v] == 0) continue;
+      state.route[v] = routes[v][counter[v] - 1];
+    }
+    bool is_stable = true;
+    for (AsId v = 0; v < g.num_ases() && is_stable; ++v) {
+      if (inst.is_origin(v)) continue;
+      is_stable = inst.best_response(state.route, v) == state.route[v];
+    }
+    if (is_stable) stable.push_back(std::move(state));
+
+    // Advance the mixed-radix counter.
+    AsId pos = 0;
+    while (pos < g.num_ases()) {
+      if (inst.is_origin(pos)) {
+        ++pos;
+        continue;
+      }
+      if (counter[pos] < routes[pos].size()) {
+        ++counter[pos];
+        break;
+      }
+      counter[pos] = 0;
+      ++pos;
+    }
+    if (pos >= g.num_ases()) break;
+  }
+  return stable;
+}
+
+}  // namespace sbgp::stability

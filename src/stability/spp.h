@@ -1,0 +1,61 @@
+// Stable-state analysis for S*BGP with (possibly) heterogeneous security
+// placement (Section 2.3).
+//
+// When ASes disagree about where SecP sits in the decision ladder, the
+// routing system can have multiple stable states (BGP Wedgies) or none.
+// This module enumerates *all* stable states of small instances by
+// exhaustive search over perceivable-route assignments: a state maps every
+// AS to one of its perceivable routes (or none), and is stable when each
+// AS's assigned route is exactly its best choice among the routes its
+// neighbors' assignments actually export to it (with the deterministic
+// lowest-next-hop tie break).
+//
+// Theorem 2.1 (uniform placement => unique stable state) and the Figure 1
+// wedgie (mixed placement => two stable states) are both checked against
+// this enumeration in the tests.
+#ifndef SBGP_STABILITY_SPP_H
+#define SBGP_STABILITY_SPP_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::stability {
+
+using routing::AsId;
+using routing::Deployment;
+using routing::LocalPrefPolicy;
+using routing::Query;
+using routing::SecurityModel;
+using topology::AsGraph;
+
+/// One AS's route in a state: the path from its next hop to the origin
+/// (empty optional = no route). Origins hold no route.
+using RouteChoice = std::optional<std::vector<AsId>>;
+
+/// A full stable routing state.
+struct StableState {
+  std::vector<RouteChoice> route;  // indexed by AsId
+
+  friend bool operator==(const StableState& a, const StableState& b) {
+    return a.route == b.route;
+  }
+};
+
+/// Enumerates all stable states of the instance. `model_of` holds one
+/// SecurityModel per AS (heterogeneous placement); the query's model is
+/// ignored when `model_of` is non-empty. Throws std::invalid_argument if
+/// the assignment space exceeds `max_assignments` (the search is meant for
+/// worked examples, not Internet-scale graphs).
+[[nodiscard]] std::vector<StableState> enumerate_stable_states(
+    const AsGraph& g, const Query& q, const Deployment& dep,
+    std::vector<SecurityModel> model_of = {},
+    LocalPrefPolicy lp = LocalPrefPolicy::standard(),
+    std::uint64_t max_assignments = 4'000'000);
+
+}  // namespace sbgp::stability
+
+#endif  // SBGP_STABILITY_SPP_H

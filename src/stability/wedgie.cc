@@ -1,0 +1,70 @@
+#include "stability/wedgie.h"
+
+#include <stdexcept>
+
+#include "routing/reference.h"
+#include "security/case_studies.h"
+
+namespace sbgp::stability {
+
+namespace {
+
+using security::cases::Wedgie;
+
+WedgieReport drive(std::vector<routing::SecurityModel> models) {
+  const auto g = Wedgie::graph();
+  const auto dep = Wedgie::deployment();
+  const routing::Query q{Wedgie::kMit, routing::kNoAs,
+                         routing::SecurityModel::kSecurityThird};
+
+  WedgieReport report;
+  report.num_stable_states =
+      enumerate_stable_states(g, q, dep, models).size();
+
+  routing::ReferenceSimulator ref(g, dep, routing::LocalPrefPolicy::standard(),
+                                  std::move(models));
+
+  // Reach the *intended* state deterministically: converge with the
+  // insecure branch severed, then restore it. Norway (security 1st) then
+  // has no reason to leave its secure provider route.
+  ref.set_link_enabled(Wedgie::kMit, Wedgie::kInsecure, false);
+  if (!ref.run(q, /*activation_seed=*/1).converged) {
+    throw std::logic_error("wedgie: no convergence (setup)");
+  }
+  ref.set_link_enabled(Wedgie::kMit, Wedgie::kInsecure, true);
+  if (!ref.run(q, 2).converged) {
+    throw std::logic_error("wedgie: no convergence (intended state)");
+  }
+  report.intended_secure_before = ref.secure_route(Wedgie::kNorway);
+  if (ref.chosen(Wedgie::kNorway).has_value()) {
+    report.norway_path_before = ref.chosen(Wedgie::kNorway)->path;
+  }
+
+  // The Figure 1 event: the Nianet--MIT link fails...
+  ref.set_link_enabled(Wedgie::kMit, Wedgie::kNianet, false);
+  if (!ref.run(q, 3).converged) {
+    throw std::logic_error("wedgie: no convergence (failure)");
+  }
+  report.secure_during_failure = ref.secure_route(Wedgie::kNorway);
+
+  // ...and comes back up.
+  ref.set_link_enabled(Wedgie::kMit, Wedgie::kNianet, true);
+  if (!ref.run(q, 4).converged) {
+    throw std::logic_error("wedgie: no convergence (recovery)");
+  }
+  report.secure_after_recovery = ref.secure_route(Wedgie::kNorway);
+  if (ref.chosen(Wedgie::kNorway).has_value()) {
+    report.norway_path_after = ref.chosen(Wedgie::kNorway)->path;
+  }
+  return report;
+}
+
+}  // namespace
+
+WedgieReport run_wedgie_scenario() { return drive(Wedgie::models()); }
+
+WedgieReport run_uniform_control(routing::SecurityModel model) {
+  return drive(std::vector<routing::SecurityModel>(Wedgie::kN, model));
+}
+
+}  // namespace sbgp::stability

@@ -1,0 +1,48 @@
+// The S*BGP Wedgie scenario driver (Section 2.3.1, Figure 1).
+//
+// When ASes place SecP inconsistently, the system can have two stable
+// states and exhibit hysteresis: after a link failure and recovery, routing
+// does not return to the intended state. This module drives the Figure 1
+// reconstruction through the full failure/recovery sequence with the
+// reference simulator, and contrasts it with uniform-placement controls
+// where the stable state is unique (Theorem 2.1).
+#ifndef SBGP_STABILITY_WEDGIE_H
+#define SBGP_STABILITY_WEDGIE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "routing/model.h"
+#include "stability/spp.h"
+
+namespace sbgp::stability {
+
+struct WedgieReport {
+  std::size_t num_stable_states = 0;
+
+  // Norway (AS 31283, the security-1st AS) across the event sequence.
+  bool intended_secure_before = false;  // on the secure provider route
+  bool secure_during_failure = false;
+  bool secure_after_recovery = false;   // false => wedged
+
+  /// Wedged: the link is back but the intended state was not restored.
+  [[nodiscard]] bool wedged() const {
+    return intended_secure_before && !secure_after_recovery;
+  }
+
+  std::vector<AsId> norway_path_before;
+  std::vector<AsId> norway_path_after;
+};
+
+/// Runs the Figure 1 scenario with mixed placement (Norway security 1st,
+/// everyone else 3rd): enumerates stable states, then plays the link
+/// failure/recovery sequence. Expect two stable states and wedged() true.
+[[nodiscard]] WedgieReport run_wedgie_scenario();
+
+/// Control run with uniform placement `model` at every AS: expect exactly
+/// one stable state and no wedging.
+[[nodiscard]] WedgieReport run_uniform_control(routing::SecurityModel model);
+
+}  // namespace sbgp::stability
+
+#endif  // SBGP_STABILITY_WEDGIE_H

@@ -1,0 +1,163 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sbgp::topology {
+
+namespace {
+
+/// Packs an undirected pair into a 64-bit key for duplicate detection.
+[[nodiscard]] std::uint64_t pair_key(AsId a, AsId b) noexcept {
+  const AsId lo = std::min(a, b);
+  const AsId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::optional<Relation> AsGraph::relation(AsId v, AsId u) const {
+  for (const AsId c : customers(v)) {
+    if (c == u) return Relation::kCustomer;
+  }
+  for (const AsId p : peers(v)) {
+    if (p == u) return Relation::kPeer;
+  }
+  for (const AsId p : providers(v)) {
+    if (p == u) return Relation::kProvider;
+  }
+  return std::nullopt;
+}
+
+AsGraphBuilder::AsGraphBuilder(std::size_t num_ases) : n_(num_ases) {
+  if (num_ases == 0) throw std::invalid_argument("AsGraphBuilder: empty graph");
+}
+
+void AsGraphBuilder::check_new_edge(AsId a, AsId b) const {
+  if (a >= n_ || b >= n_) {
+    throw std::invalid_argument("AsGraphBuilder: AS id out of range");
+  }
+  if (a == b) throw std::invalid_argument("AsGraphBuilder: self loop");
+  if (has_edge(a, b)) {
+    throw std::invalid_argument("AsGraphBuilder: duplicate edge");
+  }
+}
+
+bool AsGraphBuilder::has_edge(AsId a, AsId b) const {
+  return edge_keys_.contains(pair_key(a, b));
+}
+
+AsGraphBuilder& AsGraphBuilder::add_customer_provider(AsId customer,
+                                                      AsId provider) {
+  check_new_edge(customer, provider);
+  cp_edges_.emplace_back(customer, provider);
+  edge_keys_.insert(pair_key(customer, provider));
+  return *this;
+}
+
+AsGraphBuilder& AsGraphBuilder::add_peer_peer(AsId a, AsId b) {
+  check_new_edge(a, b);
+  peer_edges_.emplace_back(std::min(a, b), std::max(a, b));
+  edge_keys_.insert(pair_key(a, b));
+  return *this;
+}
+
+AsGraph AsGraphBuilder::build() const {
+  // Acyclicity of the customer->provider digraph via Kahn's algorithm.
+  {
+    std::vector<std::uint32_t> indeg(n_, 0);
+    std::vector<std::vector<AsId>> up(n_);  // customer -> providers
+    for (const auto& [c, p] : cp_edges_) {
+      up[c].push_back(p);
+      ++indeg[p];
+    }
+    std::queue<AsId> q;
+    for (AsId v = 0; v < n_; ++v) {
+      if (indeg[v] == 0) q.push(v);
+    }
+    std::size_t seen = 0;
+    while (!q.empty()) {
+      const AsId v = q.front();
+      q.pop();
+      ++seen;
+      for (const AsId p : up[v]) {
+        if (--indeg[p] == 0) q.push(p);
+      }
+    }
+    if (seen != n_) {
+      throw std::invalid_argument(
+          "AsGraphBuilder: customer-provider relationships contain a cycle");
+    }
+  }
+
+  // Count per-relation degrees, then fill CSR buckets.
+  std::vector<std::size_t> n_cust(n_, 0);
+  std::vector<std::size_t> n_peer(n_, 0);
+  std::vector<std::size_t> n_prov(n_, 0);
+  for (const auto& [c, p] : cp_edges_) {
+    ++n_prov[c];  // c sees p as provider
+    ++n_cust[p];  // p sees c as customer
+  }
+  for (const auto& [a, b] : peer_edges_) {
+    ++n_peer[a];
+    ++n_peer[b];
+  }
+
+  AsGraph g;
+  g.n_ = n_;
+  g.cp_links_ = cp_edges_.size();
+  g.peer_links_ = peer_edges_.size();
+  g.off_.assign(n_ + 1, 0);
+  g.peer_start_.assign(n_, 0);
+  g.prov_start_.assign(n_, 0);
+  for (AsId v = 0; v < n_; ++v) {
+    g.off_[v + 1] = g.off_[v] + n_cust[v] + n_peer[v] + n_prov[v];
+    g.peer_start_[v] = g.off_[v] + n_cust[v];
+    g.prov_start_[v] = g.peer_start_[v] + n_peer[v];
+  }
+  g.nbr_.assign(g.off_[n_], kNoAs);
+
+  std::vector<std::size_t> cur_cust(g.off_.begin(), g.off_.end() - 1);
+  std::vector<std::size_t> cur_peer(g.peer_start_);
+  std::vector<std::size_t> cur_prov(g.prov_start_);
+  for (const auto& [c, p] : cp_edges_) {
+    g.nbr_[cur_prov[c]++] = p;
+    g.nbr_[cur_cust[p]++] = c;
+  }
+  for (const auto& [a, b] : peer_edges_) {
+    g.nbr_[cur_peer[a]++] = b;
+    g.nbr_[cur_peer[b]++] = a;
+  }
+
+  // Sorted buckets give deterministic iteration and allow binary search.
+  for (AsId v = 0; v < n_; ++v) {
+    std::sort(g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.off_[v]),
+              g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.peer_start_[v]));
+    std::sort(g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.peer_start_[v]),
+              g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.prov_start_[v]));
+    std::sort(g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.prov_start_[v]),
+              g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.off_[v + 1]));
+  }
+  return g;
+}
+
+GraphStats compute_stats(const AsGraph& g) {
+  GraphStats s;
+  s.num_ases = g.num_ases();
+  s.cp_links = g.num_customer_provider_links();
+  s.peer_links = g.num_peer_links();
+  std::size_t total_degree = 0;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (g.is_stub(v)) ++s.num_stubs;
+    s.max_customer_degree = std::max(s.max_customer_degree,
+                                     g.customer_degree(v));
+    total_degree += g.degree(v);
+  }
+  s.mean_degree =
+      static_cast<double>(total_degree) / static_cast<double>(s.num_ases);
+  return s;
+}
+
+}  // namespace sbgp::topology

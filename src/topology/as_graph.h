@@ -1,0 +1,140 @@
+// Immutable AS-level topology with Gao-Rexford business relationships.
+//
+// The graph is the substrate for every routing computation in the library:
+// G = (V, E) where each edge is annotated customer-to-provider or
+// peer-to-peer (Section 2.2). Storage is CSR-style with each AS's neighbor
+// list partitioned into [customers | peers | providers] so the routing
+// engine's stage-restricted traversals (Appendix B) are contiguous scans.
+#ifndef SBGP_TOPOLOGY_AS_GRAPH_H
+#define SBGP_TOPOLOGY_AS_GRAPH_H
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/types.h"
+
+namespace sbgp::topology {
+
+/// Immutable AS graph; construct via `AsGraphBuilder`.
+///
+/// Default-constructed graphs are empty placeholders (num_ases() == 0) so
+/// the type can live inside aggregate results; all accessors taking an AsId
+/// require the id to be in range.
+class AsGraph {
+ public:
+  AsGraph() = default;
+
+  [[nodiscard]] std::size_t num_ases() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_customer_provider_links() const noexcept {
+    return cp_links_;
+  }
+  [[nodiscard]] std::size_t num_peer_links() const noexcept {
+    return peer_links_;
+  }
+
+  /// Neighbors of `v` that are customers of `v`.
+  [[nodiscard]] std::span<const AsId> customers(AsId v) const noexcept {
+    return {nbr_.data() + off_[v], nbr_.data() + peer_start_[v]};
+  }
+  /// Neighbors of `v` that are peers of `v`.
+  [[nodiscard]] std::span<const AsId> peers(AsId v) const noexcept {
+    return {nbr_.data() + peer_start_[v], nbr_.data() + prov_start_[v]};
+  }
+  /// Neighbors of `v` that are providers of `v`.
+  [[nodiscard]] std::span<const AsId> providers(AsId v) const noexcept {
+    return {nbr_.data() + prov_start_[v], nbr_.data() + off_[v + 1]};
+  }
+  /// All neighbors (customers, then peers, then providers).
+  [[nodiscard]] std::span<const AsId> neighbors(AsId v) const noexcept {
+    return {nbr_.data() + off_[v], nbr_.data() + off_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(AsId v) const noexcept {
+    return off_[v + 1] - off_[v];
+  }
+  [[nodiscard]] std::size_t customer_degree(AsId v) const noexcept {
+    return peer_start_[v] - off_[v];
+  }
+  [[nodiscard]] std::size_t peer_degree(AsId v) const noexcept {
+    return prov_start_[v] - peer_start_[v];
+  }
+  [[nodiscard]] std::size_t provider_degree(AsId v) const noexcept {
+    return off_[v + 1] - prov_start_[v];
+  }
+
+  /// Stub: an AS with no customers (the union of the paper's "Stubs" and
+  /// "Stubs-x" rows of Table 1).
+  [[nodiscard]] bool is_stub(AsId v) const noexcept {
+    return customer_degree(v) == 0;
+  }
+
+  /// Relation of neighbor `u` as seen from `v`, or nullopt if not adjacent.
+  /// O(degree(v)); intended for tests and examples, not hot paths.
+  [[nodiscard]] std::optional<Relation> relation(AsId v, AsId u) const;
+
+ private:
+  friend class AsGraphBuilder;
+
+  std::size_t n_ = 0;
+  std::size_t cp_links_ = 0;
+  std::size_t peer_links_ = 0;
+  std::vector<std::size_t> off_;         // size n+1: neighbor range per AS
+  std::vector<std::size_t> peer_start_;  // size n: first peer within range
+  std::vector<std::size_t> prov_start_;  // size n: first provider
+  std::vector<AsId> nbr_;                // concatenated neighbor lists
+};
+
+/// Incrementally collects edges, validates invariants, and emits an AsGraph.
+///
+/// Validated invariants (throws std::invalid_argument on violation):
+///  * no self-loops, no duplicate edges, no conflicting annotations;
+///  * ids within range;
+///  * the customer-to-provider digraph is acyclic (an AS cannot transitively
+///    be its own provider), as assumed by the Gao-Rexford model and required
+///    for the staged routing algorithm's correctness.
+class AsGraphBuilder {
+ public:
+  explicit AsGraphBuilder(std::size_t num_ases);
+
+  /// Adds a customer-to-provider edge (customer pays provider).
+  AsGraphBuilder& add_customer_provider(AsId customer, AsId provider);
+
+  /// Adds a settlement-free peer-to-peer edge.
+  AsGraphBuilder& add_peer_peer(AsId a, AsId b);
+
+  /// True if an edge between a and b (either annotation) already exists.
+  [[nodiscard]] bool has_edge(AsId a, AsId b) const;
+
+  [[nodiscard]] std::size_t num_ases() const noexcept { return n_; }
+
+  /// Validates invariants and produces the immutable graph.
+  [[nodiscard]] AsGraph build() const;
+
+ private:
+  void check_new_edge(AsId a, AsId b) const;
+
+  std::size_t n_;
+  // Edge list as (customer, provider) and (a, b) with a < b for peers.
+  std::vector<std::pair<AsId, AsId>> cp_edges_;
+  std::vector<std::pair<AsId, AsId>> peer_edges_;
+  std::unordered_set<std::uint64_t> edge_keys_;  // O(1) duplicate detection
+};
+
+/// Statistics used by benches and the README to describe a graph.
+struct GraphStats {
+  std::size_t num_ases = 0;
+  std::size_t cp_links = 0;
+  std::size_t peer_links = 0;
+  std::size_t num_stubs = 0;
+  std::size_t max_customer_degree = 0;
+  double mean_degree = 0.0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const AsGraph& g);
+
+}  // namespace sbgp::topology
+
+#endif  // SBGP_TOPOLOGY_AS_GRAPH_H

@@ -1,0 +1,311 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sbgp::topology {
+
+namespace {
+
+using util::Rng;
+
+/// Weighted preferential-attachment urn: an AS appears once per unit of
+/// initial weight plus once per customer it has acquired, so draws follow
+/// "rich get richer" and customer degrees come out power-law-ish.
+class AttachmentUrn {
+ public:
+  void add(AsId v, std::uint32_t initial_weight) {
+    for (std::uint32_t i = 0; i < initial_weight; ++i) balls_.push_back(v);
+  }
+  void reward(AsId v) { balls_.push_back(v); }
+  [[nodiscard]] AsId draw(Rng& rng) const {
+    return balls_[rng.next_below(balls_.size())];
+  }
+  [[nodiscard]] bool empty() const noexcept { return balls_.empty(); }
+
+ private:
+  std::vector<AsId> balls_;
+};
+
+/// Draws `want` distinct providers for `customer` from the urn, restricted
+/// by `acceptable`; gives up on a draw after a bounded number of rejections
+/// (the urn is large, so collisions are rare).
+template <typename AcceptFn>
+std::vector<AsId> draw_providers(AttachmentUrn& urn, Rng& rng, AsId customer,
+                                 std::uint32_t want, AcceptFn acceptable) {
+  std::vector<AsId> chosen;
+  int attempts = 0;
+  while (chosen.size() < want && attempts < 400) {
+    ++attempts;
+    const AsId p = urn.draw(rng);
+    if (p == customer) continue;
+    if (!acceptable(p)) continue;
+    if (std::find(chosen.begin(), chosen.end(), p) != chosen.end()) continue;
+    chosen.push_back(p);
+  }
+  return chosen;
+}
+
+/// Number of providers for a transit/stub AS: mostly multi-homed.
+std::uint32_t provider_count(Rng& rng, double p1, double p2) {
+  const double u = rng.next_double();
+  if (u < p1) return 1;
+  if (u < p1 + p2) return 2;
+  return 3;
+}
+
+}  // namespace
+
+GeneratedTopology generate_internet(const GeneratorParams& params) {
+  const std::uint32_t n = params.num_ases;
+  const std::uint32_t n_t1 = params.num_tier1;
+  const std::uint32_t n_t2 = params.num_tier2;
+  const std::uint32_t n_t3 = params.num_tier3;
+  const std::uint32_t n_cp = params.num_content_providers;
+  const std::uint32_t designated = n_t1 + n_t2 + n_t3 + n_cp;
+  if (designated + 10 > n) {
+    throw std::invalid_argument(
+        "generate_internet: num_ases too small for designated tiers");
+  }
+  if (params.stub_fraction <= 0.0 || params.stub_fraction >= 1.0) {
+    throw std::invalid_argument("generate_internet: stub_fraction out of (0,1)");
+  }
+
+  const auto n_stub = static_cast<std::uint32_t>(
+      static_cast<double>(n) * params.stub_fraction);
+  if (designated + n_stub >= n) {
+    throw std::invalid_argument("generate_internet: stub_fraction too large");
+  }
+  const std::uint32_t n_mid = n - designated - n_stub;
+
+  // Id layout: [T1 | T2 | T3 | CP | mid (SMDG pool) | stubs].
+  const AsId t1_begin = 0;
+  const AsId t2_begin = t1_begin + n_t1;
+  const AsId t3_begin = t2_begin + n_t2;
+  const AsId cp_begin = t3_begin + n_t3;
+  const AsId mid_begin = cp_begin + n_cp;
+  const AsId stub_begin = mid_begin + n_mid;
+
+  const auto is_t1 = [&](AsId v) { return v < t2_begin; };
+  const auto is_t2 = [&](AsId v) { return v >= t2_begin && v < t3_begin; };
+  const auto is_cp = [&](AsId v) { return v >= cp_begin && v < mid_begin; };
+  const auto is_mid = [&](AsId v) { return v >= mid_begin && v < stub_begin; };
+
+  Rng rng(params.seed);
+  AsGraphBuilder builder(n);
+
+  // --- Tier 1 peering clique -----------------------------------------
+  for (AsId a = t1_begin; a < t2_begin; ++a) {
+    for (AsId b = a + 1; b < t2_begin; ++b) builder.add_peer_peer(a, b);
+  }
+
+  // Preferential-attachment urn over transit providers. Initial weights
+  // tilt stub/mid homing towards the top of the hierarchy, producing the
+  // heavy-tailed customer degrees of real AS graphs.
+  AttachmentUrn urn;
+  // Tier 1s take few *direct* edge customers — their customer cones grow
+  // transitively through the T2/T3 layers, as in real AS graphs where the
+  // T1 cones cover half the Internet without half the Internet buying
+  // transit from a T1 directly.
+  for (AsId v = t1_begin; v < t2_begin; ++v) urn.add(v, 4);
+
+  // --- Tier 2: buy transit from T1s, peer laterally -------------------
+  for (AsId v = t2_begin; v < t3_begin; ++v) {
+    const std::uint32_t want = provider_count(rng, 0.15, 0.55);
+    const auto provs = rng.sample_without_replacement(n_t1, std::min(want, n_t1));
+    for (const auto idx : provs) builder.add_customer_provider(v, t1_begin + idx);
+    urn.add(v, 12);
+  }
+  for (AsId a = t2_begin; a < t3_begin; ++a) {
+    for (AsId b = a + 1; b < t3_begin; ++b) {
+      if (rng.chance(params.t2_peer_prob)) builder.add_peer_peer(a, b);
+    }
+  }
+
+  // --- Tier 3: buy transit from T2s, sparse peering -------------------
+  for (AsId v = t3_begin; v < cp_begin; ++v) {
+    const std::uint32_t want = provider_count(rng, 0.35, 0.45);
+    std::vector<std::uint32_t> provs =
+        rng.sample_without_replacement(n_t2, std::min(want, n_t2));
+    for (const auto idx : provs) {
+      const AsId p = t2_begin + idx;
+      builder.add_customer_provider(v, p);
+      urn.reward(p);
+    }
+    urn.add(v, 6);
+  }
+  for (AsId a = t3_begin; a < cp_begin; ++a) {
+    for (AsId b = a + 1; b < cp_begin; ++b) {
+      if (rng.chance(params.t3_peer_prob)) builder.add_peer_peer(a, b);
+    }
+  }
+  // Lateral T2--T3 public peering: the transit mesh of real AS graphs is
+  // dense, and it is what spreads a bogus announcement as peer routes
+  // across the core (the Section 4.6 doom mechanism).
+  for (AsId a = t3_begin; a < cp_begin; ++a) {
+    for (AsId b = t2_begin; b < t3_begin; ++b) {
+      if (rng.chance(params.t2_t3_peer_prob) && !builder.has_edge(a, b)) {
+        builder.add_peer_peer(a, b);
+      }
+    }
+  }
+
+  // --- Content providers: few providers, many peers -------------------
+  for (AsId v = cp_begin; v < mid_begin; ++v) {
+    // Real content providers multihome to one or two Tier 1s plus large
+    // Tier 2s; the Tier 1 uplink is what makes routes to them securable in
+    // the paper's "T1s + CPs + stubs" deployment (Figure 13).
+    const std::uint32_t want_t1 =
+        1 + static_cast<std::uint32_t>(rng.next_below(2));
+    for (const auto idx :
+         rng.sample_without_replacement(n_t1, std::min(want_t1, n_t1))) {
+      builder.add_customer_provider(v, t1_begin + idx);
+      urn.reward(t1_begin + idx);
+    }
+    const std::uint32_t want = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+    const auto accept = [&](AsId p) {
+      return is_t2(p) && !builder.has_edge(v, p);
+    };
+    for (const AsId p : draw_providers(urn, rng, v, want, accept)) {
+      builder.add_customer_provider(v, p);
+      urn.reward(p);
+    }
+    // A CP may already buy transit from a T2 drawn above; skip those.
+    for (AsId t = t2_begin; t < t3_begin; ++t) {
+      if (rng.chance(params.cp_t2_peer_prob) && !builder.has_edge(v, t)) {
+        builder.add_peer_peer(v, t);
+      }
+    }
+    for (AsId t = t3_begin; t < cp_begin; ++t) {
+      if (rng.chance(params.cp_t3_peer_prob) && !builder.has_edge(v, t)) {
+        builder.add_peer_peer(v, t);
+      }
+    }
+    for (AsId other = cp_begin; other < v; ++other) {
+      if (rng.chance(params.cp_cp_peer_prob) && !builder.has_edge(v, other)) {
+        builder.add_peer_peer(v, other);
+      }
+    }
+  }
+
+  // --- Mid tier (SMDG pool): preferential attachment ------------------
+  // A mid AS may buy transit from T1/T2/T3 or from an *earlier* mid AS,
+  // which keeps the provider hierarchy acyclic by construction.
+  for (AsId v = mid_begin; v < stub_begin; ++v) {
+    const std::uint32_t want = provider_count(rng, 0.45, 0.40);
+    const auto accept = [&](AsId p) {
+      return !is_cp(p) && (!is_mid(p) || p < v);
+    };
+    auto provs = draw_providers(urn, rng, v, want, accept);
+    if (provs.empty()) provs.push_back(t2_begin);  // connectivity fallback
+    for (const AsId p : provs) {
+      builder.add_customer_provider(v, p);
+      urn.reward(p);
+    }
+    urn.add(v, 1);
+  }
+  // Lateral peering among mids: mostly "regional" (nearby ids), partly up
+  // to Tier 3 ISPs, which gives mid-tier sources peer routes into real
+  // customer cones (the LP-class diversity the paper's partitions rely on).
+  if (n_mid > 1) {
+    const auto pairs = static_cast<std::uint32_t>(
+        params.smdg_mean_peers * static_cast<double>(n_mid) / 2.0);
+    for (std::uint32_t i = 0; i < pairs; ++i) {
+      const AsId a = mid_begin + static_cast<AsId>(rng.next_below(n_mid));
+      AsId b;
+      const double r = rng.next_double();
+      if (r < 0.15) {
+        b = t2_begin + static_cast<AsId>(rng.next_below(n_t2));
+      } else if (r < 0.45) {
+        b = t3_begin + static_cast<AsId>(rng.next_below(n_t3));
+      } else {
+        const AsId span = std::min<AsId>(50, n_mid);
+        b = a + 1 + static_cast<AsId>(rng.next_below(span));
+        if (b >= stub_begin) b = mid_begin + (b - stub_begin);
+      }
+      if (a != b && !builder.has_edge(a, b)) builder.add_peer_peer(a, b);
+    }
+  }
+
+  // --- Stubs ----------------------------------------------------------
+  const auto n_t1_stub = static_cast<std::uint32_t>(
+      params.tier1_stub_fraction * static_cast<double>(n_stub));
+  std::vector<AsId> stub_x_pool;  // stubs eligible for peer links
+  for (AsId v = stub_begin; v < n; ++v) {
+    const bool t1_homed = (v - stub_begin) < n_t1_stub;
+    if (t1_homed) {
+      // Homed exclusively to Tier 1s ("Tier 1 stubs", Section 5.2.3).
+      // Like any other stub they may still hold peer links (Figure 2's
+      // AS 21740 peers with Cogent) — peering is exactly what exposes them
+      // to LP-based protocol downgrades.
+      const std::uint32_t want = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+      const auto provs =
+          rng.sample_without_replacement(n_t1, std::min(want, n_t1));
+      for (const auto idx : provs) {
+        builder.add_customer_provider(v, t1_begin + idx);
+        urn.reward(t1_begin + idx);
+      }
+      if (rng.chance(params.stub_x_fraction)) stub_x_pool.push_back(v);
+      continue;
+    }
+    const std::uint32_t want = provider_count(rng, 0.35, 0.40);
+    const auto accept = [&](AsId p) { return !is_cp(p); };
+    auto provs = draw_providers(urn, rng, v, want, accept);
+    if (provs.empty()) provs.push_back(t2_begin);  // connectivity fallback
+    for (const AsId p : provs) {
+      builder.add_customer_provider(v, p);
+      urn.reward(p);
+    }
+    if (rng.chance(params.stub_x_fraction)) stub_x_pool.push_back(v);
+  }
+  // Stubs-x: peer links to fellow stubs, mid-tier ASes, and transit ISPs
+  // (public peering at exchanges reaches well into the hierarchy, which is
+  // what creates the LP-class diversity the paper's partitions measure).
+  for (std::size_t i = 0; i < stub_x_pool.size(); ++i) {
+    const AsId v = stub_x_pool[i];
+    const std::uint32_t links = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+    for (std::uint32_t l = 0; l < links; ++l) {
+      AsId partner;
+      const double r = rng.next_double();
+      if (r < 0.30 && i > 0) {
+        partner = stub_x_pool[rng.next_below(i)];
+      } else if (r < 0.45) {
+        partner = t2_begin + static_cast<AsId>(rng.next_below(n_t2));
+      } else if (r < 0.70) {
+        partner = t3_begin + static_cast<AsId>(rng.next_below(n_t3));
+      } else if (n_mid > 0) {
+        partner = mid_begin + static_cast<AsId>(rng.next_below(n_mid));
+      } else {
+        continue;
+      }
+      if (partner != v && !builder.has_edge(v, partner)) {
+        builder.add_peer_peer(v, partner);
+      }
+    }
+  }
+
+  GeneratedTopology out;
+  out.graph = builder.build();
+  for (AsId v = t1_begin; v < t2_begin; ++v) out.tier1.push_back(v);
+  for (AsId v = t2_begin; v < t3_begin; ++v) out.tier2.push_back(v);
+  for (AsId v = t3_begin; v < cp_begin; ++v) out.tier3.push_back(v);
+  for (AsId v = cp_begin; v < mid_begin; ++v) out.content_providers.push_back(v);
+  return out;
+}
+
+GeneratedTopology generate_small_internet(std::uint32_t num_ases,
+                                          std::uint64_t seed) {
+  GeneratorParams p;
+  p.num_ases = num_ases;
+  p.num_tier1 = std::max<std::uint32_t>(3, num_ases / 120);
+  p.num_tier2 = std::max<std::uint32_t>(5, num_ases / 35);
+  p.num_tier3 = std::max<std::uint32_t>(5, num_ases / 40);
+  p.num_content_providers = std::max<std::uint32_t>(2, num_ases / 250);
+  p.stub_fraction = 0.78;
+  p.seed = seed;
+  return generate_internet(p);
+}
+
+}  // namespace sbgp::topology

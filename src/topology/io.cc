@@ -1,0 +1,103 @@
+#include "topology/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sbgp::topology {
+
+namespace {
+
+struct RawEdge {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  int rel = 0;  // -1 = a provides for b; 0 = peers
+};
+
+}  // namespace
+
+AsRelData read_as_rel(std::istream& in) {
+  std::vector<RawEdge> edges;
+  std::unordered_map<std::int64_t, AsId> id_of;
+  std::vector<std::int64_t> asn;
+  const auto intern = [&](std::int64_t raw) {
+    const auto [it, inserted] =
+        id_of.try_emplace(raw, static_cast<AsId>(asn.size()));
+    if (inserted) asn.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ls(line);
+    RawEdge e;
+    char sep1 = 0;
+    char sep2 = 0;
+    if (!(ls >> e.a >> sep1 >> e.b >> sep2 >> e.rel) || sep1 != '|' ||
+        sep2 != '|') {
+      // Retry with no spaces around '|' (the canonical format).
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      int rel = 0;
+      if (std::sscanf(line.c_str(), "%ld|%ld|%d", &a, &b, &rel) != 3) {
+        throw std::runtime_error("read_as_rel: malformed line " +
+                                 std::to_string(lineno) + ": " + line);
+      }
+      e = {a, b, rel};
+    }
+    if (e.rel != -1 && e.rel != 0) {
+      throw std::runtime_error("read_as_rel: unknown relationship on line " +
+                               std::to_string(lineno));
+    }
+    intern(e.a);
+    intern(e.b);
+    edges.push_back(e);
+  }
+  if (asn.empty()) throw std::runtime_error("read_as_rel: empty input");
+
+  AsGraphBuilder builder(asn.size());
+  for (const auto& e : edges) {
+    const AsId a = id_of.at(e.a);
+    const AsId b = id_of.at(e.b);
+    if (e.rel == -1) {
+      builder.add_customer_provider(/*customer=*/b, /*provider=*/a);
+    } else {
+      builder.add_peer_peer(a, b);
+    }
+  }
+  AsRelData data;
+  data.graph = builder.build();
+  data.asn = std::move(asn);
+  return data;
+}
+
+AsRelData read_as_rel_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_as_rel_file: cannot open " + path);
+  return read_as_rel(in);
+}
+
+void write_as_rel(std::ostream& out, const AsGraph& g,
+                  const std::vector<std::int64_t>& asn) {
+  if (!asn.empty() && asn.size() != g.num_ases()) {
+    throw std::invalid_argument("write_as_rel: asn size mismatch");
+  }
+  const auto name = [&](AsId v) {
+    return asn.empty() ? static_cast<std::int64_t>(v) : asn[v];
+  };
+  out << "# sbgp as-rel export: <provider>|<customer>|-1, <peer>|<peer>|0\n";
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    for (const AsId c : g.customers(v)) {
+      out << name(v) << '|' << name(c) << "|-1\n";
+    }
+    for (const AsId u : g.peers(v)) {
+      if (v < u) out << name(v) << '|' << name(u) << "|0\n";
+    }
+  }
+}
+
+}  // namespace sbgp::topology

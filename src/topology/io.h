@@ -1,0 +1,40 @@
+// CAIDA "as-rel" style serialization so real AS-relationship datasets can be
+// swapped in for the synthetic topology.
+//
+// Format (one relationship per line, '#' comments ignored):
+//   <provider-asn>|<customer-asn>|-1
+//   <peer-asn>|<peer-asn>|0
+// ASNs in files are arbitrary; on load they are remapped to dense AsIds and
+// the original numbers are retained for round-tripping.
+#ifndef SBGP_TOPOLOGY_IO_H
+#define SBGP_TOPOLOGY_IO_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace sbgp::topology {
+
+/// A loaded graph plus the external ASN for each dense id.
+struct AsRelData {
+  AsGraph graph;
+  std::vector<std::int64_t> asn;  // asn[id] = external AS number
+};
+
+/// Parses an as-rel stream. Throws std::runtime_error on malformed input.
+[[nodiscard]] AsRelData read_as_rel(std::istream& in);
+
+/// Reads from a file path.
+[[nodiscard]] AsRelData read_as_rel_file(const std::string& path);
+
+/// Writes `g` in as-rel format. `asn` may be empty (dense ids are used) or
+/// must have one entry per AS.
+void write_as_rel(std::ostream& out, const AsGraph& g,
+                  const std::vector<std::int64_t>& asn = {});
+
+}  // namespace sbgp::topology
+
+#endif  // SBGP_TOPOLOGY_IO_H

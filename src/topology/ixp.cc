@@ -1,0 +1,85 @@
+#include "topology/ixp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sbgp::topology {
+
+AsGraphBuilder to_builder(const AsGraph& g) {
+  AsGraphBuilder b(g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    // Each customer-provider edge appears exactly once across all
+    // customers() lists; peer edges are added once via the id ordering.
+    for (const AsId c : g.customers(v)) b.add_customer_provider(c, v);
+    for (const AsId u : g.peers(v)) {
+      if (v < u) b.add_peer_peer(v, u);
+    }
+  }
+  return b;
+}
+
+IxpAugmentation augment_with_ixps(const AsGraph& g, const TierInfo& tiers,
+                                  const IxpParams& params) {
+  if (tiers.tier_of.size() != g.num_ases()) {
+    throw std::invalid_argument("augment_with_ixps: tier info mismatch");
+  }
+  if (params.num_ixps == 0) {
+    throw std::invalid_argument("augment_with_ixps: need at least one IXP");
+  }
+  util::Rng rng(params.seed);
+
+  // Heavy-tailed IXP popularity (a few very large exchanges, many small),
+  // matching the skew of real IXP membership counts.
+  std::vector<double> popularity(params.num_ixps);
+  double total_pop = 0.0;
+  for (auto& p : popularity) {
+    p = static_cast<double>(rng.pareto_int(1, 1.2));
+    total_pop += p;
+  }
+  const auto pick_ixp = [&]() {
+    double x = rng.next_double() * total_pop;
+    for (std::uint32_t i = 0; i < params.num_ixps; ++i) {
+      x -= popularity[i];
+      if (x <= 0.0) return i;
+    }
+    return params.num_ixps - 1;
+  };
+
+  std::vector<std::vector<AsId>> members(params.num_ixps);
+  IxpAugmentation out;
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    const auto t = static_cast<std::size_t>(tiers.tier_of[v]);
+    if (!rng.chance(params.propensity[t])) continue;
+    ++out.num_member_ases;
+    const auto joins = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(
+               params.mean_memberships * (0.5 + rng.next_double()))));
+    for (std::uint32_t j = 0; j < joins; ++j) {
+      const std::uint32_t ixp = pick_ixp();
+      auto& m = members[ixp];
+      if (std::find(m.begin(), m.end(), v) == m.end()) {
+        m.push_back(v);
+        ++out.num_memberships;
+      }
+    }
+  }
+
+  AsGraphBuilder b = to_builder(g);
+  for (const auto& m : members) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      for (std::size_t j = i + 1; j < m.size(); ++j) {
+        if (!b.has_edge(m[i], m[j])) {
+          b.add_peer_peer(m[i], m[j]);
+          ++out.added_peer_links;
+        }
+      }
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+}  // namespace sbgp::topology

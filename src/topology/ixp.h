@@ -1,0 +1,49 @@
+// IXP peering-link augmentation (Section 2.2, Appendix J).
+//
+// Empirical AS graphs miss many peer-to-peer links established at Internet
+// eXchange Points. The paper upper-bounds the missing links by connecting
+// every pair of ASes that are members of the same IXP with a peer edge
+// (+552,933 links on the UCLA graph). We reproduce the same construction:
+// synthesize IXPs, sample memberships by tier-dependent propensity, and add
+// a peer edge between every co-located pair not already adjacent.
+#ifndef SBGP_TOPOLOGY_IXP_H
+#define SBGP_TOPOLOGY_IXP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "topology/tier.h"
+
+namespace sbgp::topology {
+
+struct IxpParams {
+  std::uint32_t num_ixps = 40;
+  /// Mean number of IXPs a member AS joins.
+  double mean_memberships = 1.6;
+  /// Membership propensity by tier (probability an AS of that tier is an
+  /// IXP member at all). Indexed by Tier enum order:
+  /// T1, T2, T3, CP, SMCP, SMDG, STUB-X, STUB.
+  double propensity[kNumTiers] = {0.05, 0.75, 0.65, 0.9, 0.8, 0.35, 0.45, 0.02};
+  std::uint64_t seed = 20120924;  // default: the UCLA snapshot date
+};
+
+struct IxpAugmentation {
+  AsGraph graph;                  // original edges + IXP peer edges
+  std::size_t added_peer_links = 0;
+  std::size_t num_memberships = 0;
+  std::size_t num_member_ases = 0;
+};
+
+/// Returns a builder pre-loaded with every edge of `g` (used here and by
+/// anything else that derives modified graphs).
+[[nodiscard]] AsGraphBuilder to_builder(const AsGraph& g);
+
+/// Builds the IXP-augmented graph. Tier info must describe `g`.
+[[nodiscard]] IxpAugmentation augment_with_ixps(const AsGraph& g,
+                                                const TierInfo& tiers,
+                                                const IxpParams& params = {});
+
+}  // namespace sbgp::topology
+
+#endif  // SBGP_TOPOLOGY_IXP_H

@@ -1,0 +1,108 @@
+#include "topology/tier.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sbgp::topology {
+
+namespace {
+
+/// Sorts ids by key descending, tie-broken by id ascending (deterministic).
+template <typename KeyFn>
+void sort_by_key_desc(std::vector<AsId>& ids, KeyFn key) {
+  std::sort(ids.begin(), ids.end(), [&](AsId a, AsId b) {
+    const auto ka = key(a);
+    const auto kb = key(b);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+}
+
+}  // namespace
+
+TierInfo classify_tiers(const AsGraph& g,
+                        const std::vector<AsId>& content_providers,
+                        const TierParams& params) {
+  const std::size_t n = g.num_ases();
+  TierInfo info;
+  info.tier_of.assign(n, Tier::kSmdg);
+  std::vector<std::uint8_t> assigned(n, 0);
+
+  const auto assign = [&](AsId v, Tier t) {
+    info.tier_of[v] = t;
+    info.buckets[static_cast<std::size_t>(t)].push_back(v);
+    assigned[v] = 1;
+  };
+
+  // Content providers come from the explicit list (highest precedence after
+  // nothing: the paper's CPs are not Tier 1s).
+  for (const AsId cp : content_providers) {
+    if (cp >= n) throw std::invalid_argument("classify_tiers: CP id out of range");
+    assign(cp, Tier::kContentProvider);
+  }
+
+  // Tier 1: provider-free ASes with the highest customer degrees.
+  {
+    std::vector<AsId> provider_free;
+    for (AsId v = 0; v < n; ++v) {
+      if (!assigned[v] && g.provider_degree(v) == 0) provider_free.push_back(v);
+    }
+    sort_by_key_desc(provider_free,
+                     [&](AsId v) { return g.customer_degree(v); });
+    const std::size_t take = std::min(params.num_tier1, provider_free.size());
+    for (std::size_t i = 0; i < take; ++i) assign(provider_free[i], Tier::kTier1);
+  }
+
+  // Tier 2 then Tier 3: top customer-degree ASes *with* providers.
+  {
+    std::vector<AsId> with_providers;
+    for (AsId v = 0; v < n; ++v) {
+      if (!assigned[v] && g.provider_degree(v) > 0 && g.customer_degree(v) > 0) {
+        with_providers.push_back(v);
+      }
+    }
+    sort_by_key_desc(with_providers,
+                     [&](AsId v) { return g.customer_degree(v); });
+    std::size_t i = 0;
+    for (; i < with_providers.size() && i < params.num_tier2; ++i) {
+      assign(with_providers[i], Tier::kTier2);
+    }
+    const std::size_t t3_end =
+        std::min(with_providers.size(), params.num_tier2 + params.num_tier3);
+    for (; i < t3_end; ++i) assign(with_providers[i], Tier::kTier3);
+  }
+
+  // Small content providers: top peering-degree among the rest.
+  {
+    std::vector<AsId> rest;
+    for (AsId v = 0; v < n; ++v) {
+      if (!assigned[v] && g.peer_degree(v) > 0) rest.push_back(v);
+    }
+    sort_by_key_desc(rest, [&](AsId v) { return g.peer_degree(v); });
+    const std::size_t take = std::min(params.num_small_cp, rest.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      assign(rest[i], Tier::kSmallContentProvider);
+    }
+  }
+
+  // Remaining: stubs (with/without peers) and SMDG.
+  for (AsId v = 0; v < n; ++v) {
+    if (assigned[v]) continue;
+    if (g.customer_degree(v) == 0) {
+      assign(v, g.peer_degree(v) > 0 ? Tier::kStubX : Tier::kStub);
+    } else {
+      assign(v, Tier::kSmdg);
+    }
+  }
+  return info;
+}
+
+std::vector<AsId> stub_customers_of(const AsGraph& g, AsId v) {
+  std::vector<AsId> out;
+  for (const AsId c : g.customers(v)) {
+    if (g.is_stub(c)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace sbgp::topology

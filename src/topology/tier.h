@@ -1,0 +1,86 @@
+// Table 1 tier taxonomy.
+//
+// The paper buckets ASes into tiers used throughout the evaluation:
+//   Tier 1   13 ASes with high customer degree & no providers
+//   Tier 2   100 top ASes by customer degree & with providers
+//   Tier 3   next 100 ASes by customer degree & with providers
+//   CPs      17 content-provider ASes (explicit list)
+//   Small CPs  top 300 ASes by peering degree (other than T1/2/3 and CP)
+//   Stubs-x  ASes with peers but no customers
+//   Stubs    ASes with no customers & no peers
+//   SMDG     remaining non-stub ASes
+#ifndef SBGP_TOPOLOGY_TIER_H
+#define SBGP_TOPOLOGY_TIER_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "topology/types.h"
+
+namespace sbgp::topology {
+
+enum class Tier : std::uint8_t {
+  kTier1 = 0,
+  kTier2 = 1,
+  kTier3 = 2,
+  kContentProvider = 3,
+  kSmallContentProvider = 4,
+  kSmdg = 5,    // small/medium-degree non-stub
+  kStubX = 6,   // stub with peers
+  kStub = 7,    // stub without peers
+};
+
+inline constexpr std::size_t kNumTiers = 8;
+
+[[nodiscard]] constexpr std::string_view to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::kTier1: return "T1";
+    case Tier::kTier2: return "T2";
+    case Tier::kTier3: return "T3";
+    case Tier::kContentProvider: return "CP";
+    case Tier::kSmallContentProvider: return "SMCP";
+    case Tier::kSmdg: return "SMDG";
+    case Tier::kStubX: return "STUB-X";
+    case Tier::kStub: return "STUB";
+  }
+  return "?";
+}
+
+/// Tier-size knobs; defaults follow Table 1 at paper scale. Sizes clip to
+/// what the graph actually contains.
+struct TierParams {
+  std::size_t num_tier1 = 13;
+  std::size_t num_tier2 = 100;
+  std::size_t num_tier3 = 100;
+  std::size_t num_small_cp = 300;
+};
+
+/// Result of classifying a graph.
+struct TierInfo {
+  std::vector<Tier> tier_of;            // indexed by AsId
+  std::array<std::vector<AsId>, kNumTiers> buckets;
+
+  [[nodiscard]] const std::vector<AsId>& bucket(Tier t) const {
+    return buckets[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] Tier tier(AsId v) const { return tier_of[v]; }
+};
+
+/// Classifies every AS per Table 1. `content_providers` is the explicit CP
+/// list (the paper culls 17 from traffic studies; our generator designates
+/// them). CPs are removed from the T2/T3 pools first, matching the paper's
+/// use of a curated list.
+[[nodiscard]] TierInfo classify_tiers(const AsGraph& g,
+                                      const std::vector<AsId>& content_providers,
+                                      const TierParams& params = {});
+
+/// The stubs of AS `v`'s tier-rollout sense: customers of `v` (direct) that
+/// have no customers of their own.
+[[nodiscard]] std::vector<AsId> stub_customers_of(const AsGraph& g, AsId v);
+
+}  // namespace sbgp::topology
+
+#endif  // SBGP_TOPOLOGY_TIER_H

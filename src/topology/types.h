@@ -1,0 +1,41 @@
+// Fundamental identifiers and business-relationship types for the AS-level
+// topology (Section 2.2 of the paper).
+#ifndef SBGP_TOPOLOGY_TYPES_H
+#define SBGP_TOPOLOGY_TYPES_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace sbgp::topology {
+
+/// Dense AS identifier (index into all per-AS arrays).
+using AsId = std::uint32_t;
+
+/// Sentinel for "no AS".
+inline constexpr AsId kNoAs = 0xFFFF'FFFFu;
+
+/// Role a neighbor plays relative to the local AS.
+///
+/// Edges carry one of the two classic Gao-Rexford business relationships:
+/// customer-to-provider (the customer pays) or peer-to-peer (settlement
+/// free). `Relation` is the *local* view: if u is a customer of v, then
+/// from v the neighbor u has relation `kCustomer` and from u the neighbor v
+/// has relation `kProvider`.
+enum class Relation : std::uint8_t {
+  kCustomer = 0,
+  kPeer = 1,
+  kProvider = 2,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Relation r) noexcept {
+  switch (r) {
+    case Relation::kCustomer: return "customer";
+    case Relation::kPeer: return "peer";
+    case Relation::kProvider: return "provider";
+  }
+  return "?";
+}
+
+}  // namespace sbgp::topology
+
+#endif  // SBGP_TOPOLOGY_TYPES_H

@@ -1,0 +1,59 @@
+#include "util/as_set.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sbgp::util {
+
+void AsSet::insert(std::uint32_t id) {
+  if (id >= bits_.size()) throw std::out_of_range("AsSet::insert: id out of range");
+  bits_[id] = 1;
+}
+
+void AsSet::erase(std::uint32_t id) {
+  if (id >= bits_.size()) throw std::out_of_range("AsSet::erase: id out of range");
+  bits_[id] = 0;
+}
+
+std::size_t AsSet::count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(bits_.begin(), bits_.end(), std::uint8_t{1}));
+}
+
+std::vector<std::uint32_t> AsSet::members() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+void AsSet::insert_all(const AsSet& other) {
+  if (other.bits_.size() > bits_.size()) {
+    throw std::invalid_argument("AsSet::insert_all: universe mismatch");
+  }
+  for (std::size_t i = 0; i < other.bits_.size(); ++i) {
+    if (other.bits_[i]) bits_[i] = 1;
+  }
+}
+
+bool AsSet::subset_of(const AsSet& other) const noexcept {
+  const std::size_t n = std::min(bits_.size(), other.bits_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bits_[i] && !other.bits_[i]) return false;
+  }
+  for (std::size_t i = n; i < bits_.size(); ++i) {
+    if (bits_[i]) return false;
+  }
+  return true;
+}
+
+AsSet make_as_set(std::size_t universe,
+                  const std::vector<std::uint32_t>& members) {
+  AsSet s(universe);
+  for (const auto id : members) s.insert(id);
+  return s;
+}
+
+}  // namespace sbgp::util

@@ -1,0 +1,60 @@
+// Dense membership set over AS ids.
+//
+// Deployment sets S (which ASes run S*BGP) and simplex-signing sets are
+// queried on every node visit of every routing computation, so membership
+// must be O(1) over a dense id space. This is a minimal dynamic bitset with
+// the handful of set operations the experiments need.
+#ifndef SBGP_UTIL_AS_SET_H
+#define SBGP_UTIL_AS_SET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbgp::util {
+
+/// Set of AS ids in [0, universe).
+class AsSet {
+ public:
+  AsSet() = default;
+  explicit AsSet(std::size_t universe) : bits_(universe, 0) {}
+
+  /// Number of ids the set can hold (not the number of members).
+  [[nodiscard]] std::size_t universe() const noexcept { return bits_.size(); }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const noexcept {
+    return id < bits_.size() && bits_[id] != 0;
+  }
+
+  void insert(std::uint32_t id);
+  void erase(std::uint32_t id);
+
+  /// Number of members. O(universe); cached by callers that need it hot.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  /// Members in increasing id order.
+  [[nodiscard]] std::vector<std::uint32_t> members() const;
+
+  /// this := this ∪ other. Universes must match (or other may be smaller).
+  void insert_all(const AsSet& other);
+
+  /// True if every member of this is a member of `other`.
+  [[nodiscard]] bool subset_of(const AsSet& other) const noexcept;
+
+  friend bool operator==(const AsSet& a, const AsSet& b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Convenience: build a set from an explicit member list.
+AsSet make_as_set(std::size_t universe,
+                  const std::vector<std::uint32_t>& members);
+
+}  // namespace sbgp::util
+
+#endif  // SBGP_UTIL_AS_SET_H

@@ -1,0 +1,36 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sbgp::util {
+
+std::uint32_t Rng::pareto_int(std::uint32_t min, double alpha) {
+  if (min == 0) throw std::invalid_argument("pareto_int: min must be >= 1");
+  if (alpha <= 0.0) throw std::invalid_argument("pareto_int: alpha must be > 0");
+  // Inverse-CDF sampling of a Pareto(min, alpha), truncated to avoid the
+  // occasional astronomically large draw destabilising small graphs.
+  const double u = std::max(next_double(), 1e-12);
+  const double x = static_cast<double>(min) / std::pow(u, 1.0 / alpha);
+  const double capped = std::min(x, static_cast<double>(min) * 1000.0);
+  return static_cast<std::uint32_t>(capped);
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Partial Fisher-Yates: O(n) setup, O(k) draws.
+  std::vector<std::uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(next_below(n - i));
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+}  // namespace sbgp::util

@@ -1,0 +1,51 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sbgp::util {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(sq / static_cast<double>(s.n - 1)) : 0.0;
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double fraction_below(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  const auto k = std::count_if(values.begin(), values.end(),
+                               [&](double v) { return v < threshold; });
+  return static_cast<double>(k) / static_cast<double>(values.size());
+}
+
+double fraction_at_least(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  return 1.0 - fraction_below(values, threshold);
+}
+
+}  // namespace sbgp::util

@@ -1,0 +1,33 @@
+// Small summary-statistics helpers used when reporting experiment series.
+#ifndef SBGP_UTIL_STATS_H
+#define SBGP_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sbgp::util {
+
+/// Summary of a numeric sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
+/// One-pass summary of `values` (empty input yields an all-zero summary).
+Summary summarize(const std::vector<double>& values);
+
+/// Quantile via linear interpolation on the sorted sample, q in [0, 1].
+double quantile(std::vector<double> values, double q);
+
+/// Fraction of entries strictly below `threshold`.
+double fraction_below(const std::vector<double>& values, double threshold);
+
+/// Fraction of entries at or above `threshold`.
+double fraction_at_least(const std::vector<double>& values, double threshold);
+
+}  // namespace sbgp::util
+
+#endif  // SBGP_UTIL_STATS_H

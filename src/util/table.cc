@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sbgp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string pct(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v * 100.0 << '%';
+  return os.str();
+}
+
+std::string fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace sbgp::util

@@ -1,0 +1,36 @@
+// Fixed-width plain-text table printer used by the bench binaries so every
+// figure/table reproduction prints in a uniform, diff-friendly format.
+#ifndef SBGP_UTIL_TABLE_H
+#define SBGP_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sbgp::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` as a percentage with one decimal, e.g. "61.3%".
+std::string pct(double v);
+
+/// Formats `v` with `digits` decimals.
+std::string fixed(double v, int digits = 3);
+
+}  // namespace sbgp::util
+
+#endif  // SBGP_UTIL_TABLE_H

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "deployment/maxk.h"
+#include "deployment/scenario.h"
+#include "routing/engine.h"
+#include "test_support.h"
+#include "topology/generator.h"
+
+namespace sbgp::deployment {
+namespace {
+
+using routing::SecurityModel;
+using topology::Tier;
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  ScenarioTest()
+      : topo_(topology::generate_small_internet(800, 42)),
+        tiers_(topo_.classify()) {}
+
+  topology::GeneratedTopology topo_;
+  topology::TierInfo tiers_;
+};
+
+TEST_F(ScenarioTest, T1T2RolloutGrowsMonotonically) {
+  const auto steps = t1_t2_rollout(topo_.graph, tiers_, StubMode::kFullSbgp);
+  ASSERT_EQ(steps.size(), 3u);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GE(steps[i].total_secure, steps[i - 1].total_secure);
+    EXPECT_GE(steps[i].num_non_stub_secure, steps[i - 1].num_non_stub_secure);
+    // Each step's secure set contains the previous one.
+    EXPECT_TRUE(steps[i - 1].deployment.secure.subset_of(
+        steps[i].deployment.secure));
+  }
+  // Every Tier 1 is secure from the first step.
+  for (const auto t1 : tiers_.bucket(Tier::kTier1)) {
+    EXPECT_TRUE(steps[0].deployment.secure.contains(t1));
+  }
+}
+
+TEST_F(ScenarioTest, RolloutSecuresStubsOfSecureIsps) {
+  const auto steps = t1_t2_rollout(topo_.graph, tiers_, StubMode::kFullSbgp);
+  const auto& dep = steps.back().deployment;
+  for (const auto t1 : tiers_.bucket(Tier::kTier1)) {
+    for (const auto stub : topology::stub_customers_of(topo_.graph, t1)) {
+      // Content providers also have no customers but are not rollout
+      // "stubs": the paper secures them separately (Section 5.2.2).
+      if (tiers_.tier(stub) == Tier::kContentProvider) {
+        EXPECT_FALSE(dep.secure.contains(stub));
+      } else {
+        EXPECT_TRUE(dep.secure.contains(stub));
+      }
+    }
+  }
+  EXPECT_EQ(dep.simplex.count(), 0u);
+}
+
+TEST_F(ScenarioTest, SimplexModePutsStubsInSimplexSet) {
+  const auto steps = t1_t2_rollout(topo_.graph, tiers_, StubMode::kSimplex);
+  const auto& dep = steps.back().deployment;
+  EXPECT_GT(dep.simplex.count(), 0u);
+  for (const auto v : dep.simplex.members()) {
+    EXPECT_TRUE(topo_.graph.is_stub(v));
+    EXPECT_FALSE(dep.secure.contains(v));
+  }
+  // Non-stub secure counts match the full-S*BGP variant.
+  const auto full = t1_t2_rollout(topo_.graph, tiers_, StubMode::kFullSbgp);
+  EXPECT_EQ(steps.back().total_secure, full.back().total_secure);
+}
+
+TEST_F(ScenarioTest, CpRolloutAddsAllContentProviders) {
+  const auto steps = t1_t2_cp_rollout(topo_.graph, tiers_, StubMode::kFullSbgp);
+  for (const auto& step : steps) {
+    for (const auto cp : tiers_.bucket(Tier::kContentProvider)) {
+      EXPECT_TRUE(step.deployment.secure.contains(cp));
+    }
+  }
+}
+
+TEST_F(ScenarioTest, T2RolloutHasFourSteps) {
+  const auto steps = t2_rollout(topo_.graph, tiers_, StubMode::kFullSbgp);
+  ASSERT_EQ(steps.size(), 4u);
+  // No Tier 1 is secured.
+  for (const auto& step : steps) {
+    for (const auto t1 : tiers_.bucket(Tier::kTier1)) {
+      EXPECT_FALSE(step.deployment.secure.contains(t1));
+    }
+  }
+}
+
+TEST_F(ScenarioTest, NonstubDeploymentMatchesStubPredicate) {
+  const auto dep = nonstub_deployment(topo_.graph);
+  for (topology::AsId v = 0; v < topo_.graph.num_ases(); ++v) {
+    EXPECT_EQ(dep.secure.contains(v), !topo_.graph.is_stub(v));
+  }
+}
+
+TEST_F(ScenarioTest, T1AndStubsRespectsCpFlag) {
+  const auto without =
+      t1_and_stubs(topo_.graph, tiers_, /*include_cps=*/false,
+                   StubMode::kFullSbgp);
+  const auto with = t1_and_stubs(topo_.graph, tiers_, /*include_cps=*/true,
+                                 StubMode::kFullSbgp);
+  for (const auto cp : tiers_.bucket(Tier::kContentProvider)) {
+    EXPECT_FALSE(without.secure.contains(cp));
+    EXPECT_TRUE(with.secure.contains(cp));
+  }
+}
+
+TEST_F(ScenarioTest, TopT2Prefix) {
+  const auto dep =
+      top_t2_and_stubs(topo_.graph, tiers_, 5, StubMode::kFullSbgp);
+  const auto& t2 = tiers_.bucket(Tier::kTier2);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, t2.size()); ++i) {
+    EXPECT_TRUE(dep.secure.contains(t2[i]));
+  }
+  if (t2.size() > 6) {
+    EXPECT_FALSE(dep.secure.contains(t2[6]));
+  }
+}
+
+TEST(Survey, PaperNumbers) {
+  const auto s = operator_survey();
+  EXPECT_DOUBLE_EQ(s.security_first, 0.10);
+  EXPECT_DOUBLE_EQ(s.security_second, 0.20);
+  EXPECT_DOUBLE_EQ(s.security_third, 0.41);
+}
+
+// ---------------------------------------------------------------------------
+// Max-k-Security.
+// ---------------------------------------------------------------------------
+
+TEST(MaxK, HappyTotalCountsDestination) {
+  // d=0 <- p=1 (provider): with no attack possible... use an attacked pair
+  // on the collateral-damage fixture at S = empty.
+  const auto g = test::CollateralDamage::graph();
+  const auto happy =
+      happy_total(g, test::CollateralDamage::kD, test::CollateralDamage::kM,
+                  SecurityModel::kSecuritySecond, {});
+  // d itself plus the strictly happy sources.
+  EXPECT_GE(happy, 1u);
+}
+
+TEST(MaxK, ExactFindsProtectingSet) {
+  // CollateralBenefit fixture: securing {d, w, u1, x} makes x and cb happy.
+  // With k = 4 the exact solver must reach that optimum.
+  using F = test::CollateralBenefit;
+  const auto g = F::graph();
+  const auto base = happy_total(g, F::kD, F::kM,
+                                SecurityModel::kSecurityThird, {});
+  const auto best =
+      max_k_security_exact(g, F::kD, F::kM, SecurityModel::kSecurityThird, 4);
+  EXPECT_GT(best.happy, base);
+  const auto manual = happy_total(g, F::kD, F::kM,
+                                  SecurityModel::kSecurityThird,
+                                  {F::kD, F::kW, F::kU1, F::kX});
+  EXPECT_GE(best.happy, manual);
+}
+
+TEST(MaxK, GreedyNeverBeatsExact) {
+  util::Rng rng(8);
+  const auto g = test::random_gr_graph(9, rng, 0.4);
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto exact = max_k_security_exact(g, 0, 5, model, 3);
+    const auto greedy = max_k_security_greedy(g, 0, 5, model, 3);
+    EXPECT_LE(greedy.happy, exact.happy) << to_string(model);
+    EXPECT_EQ(greedy.chosen.size(), 3u);
+  }
+}
+
+TEST(MaxK, ExactRejectsHugeInstances) {
+  const auto topo = topology::generate_small_internet(200, 3);
+  EXPECT_THROW(max_k_security_exact(topo.graph, 0, 1,
+                                    SecurityModel::kSecurityThird, 20),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Appendix I: the Set Cover reduction.
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, BuildsFigure18Shape) {
+  SetCoverInstance sc;
+  sc.num_elements = 3;
+  sc.subsets = {{0, 1}, {1, 2}, {2}};
+  sc.gamma = 2;
+  const auto rg = build_reduction(sc);
+  EXPECT_EQ(rg.graph.num_ases(), 2u + 3u + 3u);
+  EXPECT_EQ(rg.k, 3u + 2u + 1u);
+  EXPECT_EQ(rg.l, 3u + 3u + 1u);
+  // Element ASes buy from the attacker and from their covering sets.
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(rg.graph.relation(rg.element_as[e], rg.attacker),
+              topology::Relation::kProvider);
+  }
+  EXPECT_EQ(rg.graph.relation(rg.element_as[0], rg.set_as[0]),
+            topology::Relation::kProvider);
+  EXPECT_EQ(rg.graph.relation(rg.element_as[0], rg.set_as[1]), std::nullopt);
+  // Set ASes sell transit to the destination.
+  EXPECT_EQ(rg.graph.relation(rg.set_as[0], rg.destination),
+            topology::Relation::kCustomer);
+}
+
+TEST(Reduction, CoverSideSanity) {
+  SetCoverInstance yes{3, {{0, 1}, {1, 2}, {2}}, 2};
+  EXPECT_TRUE(set_cover_exists(yes));
+  SetCoverInstance no{3, {{0}, {1}, {2}}, 2};
+  EXPECT_FALSE(set_cover_exists(no));
+  SetCoverInstance exact_fit{4, {{0, 1}, {2, 3}, {0, 2}}, 2};
+  EXPECT_TRUE(set_cover_exists(exact_fit));
+}
+
+struct ReductionCase {
+  SetCoverInstance sc;
+  const char* name;
+};
+
+class ReductionTheorem : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionTheorem, CoverIffDeployment) {
+  // Theorem I.1 both directions, exhaustively, in all three models.
+  std::vector<SetCoverInstance> instances = {
+      {3, {{0, 1}, {1, 2}, {2}}, 2},        // cover exists
+      {3, {{0}, {1}, {2}}, 2},              // no cover with gamma=2
+      {3, {{0}, {1}, {2}}, 3},              // trivially covers
+      {4, {{0, 1}, {2, 3}, {1, 2}}, 2},     // cover exists
+      {4, {{0, 1}, {1, 2}, {1, 3}}, 2},     // no: element 0&3 need 2 sets + ...
+  };
+  const auto& sc = instances[static_cast<std::size_t>(GetParam())];
+  const auto rg = build_reduction(sc);
+  const bool cover = set_cover_exists(sc);
+  for (const auto model : routing::kAllSecurityModels) {
+    EXPECT_EQ(dklsp_decision(rg, model), cover) << to_string(model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ReductionTheorem,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sbgp::deployment

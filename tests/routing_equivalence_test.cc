@@ -1,0 +1,230 @@
+// Property suite: the staged engine must agree with the reference
+// path-vector simulator on every random graph, model, deployment and
+// attack. Agreement is checked on all tie-break-invariant attributes
+// (route type, length, security) and on endpoint containment (the
+// reference's concrete tie-break must land inside the engine's declared
+// {reaches d, reaches m} set). Convergence of the reference under random
+// asynchronous activation orders doubles as a check of Theorem 2.1.
+#include <gtest/gtest.h>
+
+#include "routing/baseline.h"
+#include "routing/engine.h"
+#include "routing/model.h"
+#include "routing/reference.h"
+#include "test_support.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace sbgp::routing {
+namespace {
+
+using test::random_deployment;
+using test::random_gr_graph;
+using topology::AsGraph;
+
+/// Compares one engine outcome against one converged reference state.
+void expect_equivalent(const AsGraph& g, const RoutingOutcome& eng,
+                       const ReferenceSimulator& ref, const Query& q,
+                       const std::string& label) {
+  for (AsId v = 0; v < g.num_ases(); ++v) {
+    if (v == q.destination || v == q.attacker) continue;
+    SCOPED_TRACE(label + " AS " + std::to_string(v));
+    const auto& chosen = ref.chosen(v);
+    ASSERT_EQ(eng.has_route(v), chosen.has_value());
+    if (!chosen.has_value()) continue;
+    EXPECT_EQ(eng.type(v), ref.route_type(v));
+    EXPECT_EQ(eng.length(v), chosen->path.size());
+    EXPECT_EQ(eng.secure_route(v), ref.secure_route(v));
+    if (q.under_attack()) {
+      const bool to_m = ref.routes_to_attacker(v);
+      if (to_m) {
+        EXPECT_TRUE(eng.reaches_attacker(v));
+      } else {
+        EXPECT_TRUE(eng.reaches_destination(v));
+      }
+      // Determined statuses must match exactly.
+      if (eng.happy(v) == HappyStatus::kHappy) {
+        EXPECT_FALSE(to_m);
+      }
+      if (eng.happy(v) == HappyStatus::kUnhappy) {
+        EXPECT_TRUE(to_m);
+      }
+    } else {
+      EXPECT_TRUE(eng.reaches_destination(v));
+      EXPECT_FALSE(eng.reaches_attacker(v));
+    }
+  }
+}
+
+struct Params {
+  std::uint32_t n;
+  std::uint64_t seed;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(EquivalenceTest, EngineMatchesReferenceOnRandomGraphs) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed);
+  const AsGraph g = random_gr_graph(n, rng);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto d = static_cast<AsId>(rng.next_below(n));
+    auto m = static_cast<AsId>(rng.next_below(n));
+    if (m == d) m = (m + 1) % n;
+    const Deployment dep = random_deployment(n, 0.45, rng);
+
+    for (const SecurityModel model :
+         {SecurityModel::kInsecure, SecurityModel::kSecurityFirst,
+          SecurityModel::kSecuritySecond, SecurityModel::kSecurityThird}) {
+      for (const bool attacked : {false, true}) {
+        const Query q{d, attacked ? m : kNoAs, model};
+        const auto eng = compute_routing(g, q, dep);
+        ReferenceSimulator ref(g, dep);
+        const auto conv = ref.run(q, /*activation_seed=*/seed + trial);
+        ASSERT_TRUE(conv.converged);
+        expect_equivalent(g, eng, ref, q,
+                          std::string(to_string(model)) +
+                              (attacked ? "/attack" : "/normal"));
+      }
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, ReferenceConvergesToSameStateRegardlessOfOrder) {
+  // Theorem 2.1: a unique stable state, so any two random activation orders
+  // must agree on the full chosen-route state.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed * 31 + 7);
+  const AsGraph g = random_gr_graph(n, rng);
+  const auto d = static_cast<AsId>(rng.next_below(n));
+  auto m = static_cast<AsId>(rng.next_below(n));
+  if (m == d) m = (m + 1) % n;
+  const Deployment dep = random_deployment(n, 0.5, rng);
+
+  for (const SecurityModel model : kAllSecurityModels) {
+    const Query q{d, m, model};
+    ReferenceSimulator ref_a(g, dep);
+    ReferenceSimulator ref_b(g, dep);
+    ASSERT_TRUE(ref_a.run(q, 1111).converged);
+    ASSERT_TRUE(ref_b.run(q, 99999).converged);
+    for (AsId v = 0; v < n; ++v) {
+      ASSERT_EQ(ref_a.chosen(v).has_value(), ref_b.chosen(v).has_value());
+      if (ref_a.chosen(v).has_value()) {
+        EXPECT_EQ(ref_a.chosen(v)->path, ref_b.chosen(v)->path)
+            << to_string(model) << " AS " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, EquivalenceTest,
+    ::testing::Values(Params{12, 1}, Params{12, 2}, Params{25, 3},
+                      Params{25, 4}, Params{40, 5}, Params{40, 6},
+                      Params{60, 7}, Params{60, 8}, Params{90, 9},
+                      Params{90, 10}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "n" + std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(EquivalenceInternet, EngineMatchesReferenceOnGeneratedTopology) {
+  // Cross-check on the structured generator output as well.
+  const auto topo = topology::generate_small_internet(150, 21);
+  util::Rng rng(77);
+  const auto n = static_cast<std::uint32_t>(topo.graph.num_ases());
+  for (int trial = 0; trial < 2; ++trial) {
+    const auto d = static_cast<AsId>(rng.next_below(n));
+    auto m = static_cast<AsId>(rng.next_below(n));
+    if (m == d) m = (m + 1) % n;
+    const Deployment dep = random_deployment(n, 0.4, rng);
+    for (const SecurityModel model : kAllSecurityModels) {
+      const Query q{d, m, model};
+      const auto eng = compute_routing(topo.graph, q, dep);
+      ReferenceSimulator ref(topo.graph, dep);
+      ASSERT_TRUE(ref.run(q, 5 + trial).converged);
+      expect_equivalent(topo.graph, eng, ref, q, std::string(to_string(model)));
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, BaselineEngineMatchesMainEngine) {
+  // compute_baseline with the standard ladder must agree with the main
+  // engine at S = emptyset, bit for bit.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed + 1000);
+  const AsGraph g = random_gr_graph(n, rng);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto d = static_cast<AsId>(rng.next_below(n));
+    auto m = static_cast<AsId>(rng.next_below(n));
+    if (m == d) m = (m + 1) % n;
+    const auto base = compute_baseline(g, d, m);
+    const auto eng = compute_routing(g, {d, m, SecurityModel::kInsecure}, {});
+    for (AsId v = 0; v < n; ++v) {
+      ASSERT_EQ(base.type(v), eng.type(v)) << v;
+      ASSERT_EQ(base.length(v), eng.length(v)) << v;
+      ASSERT_EQ(base.reaches_destination(v), eng.reaches_destination(v)) << v;
+      ASSERT_EQ(base.reaches_attacker(v), eng.reaches_attacker(v)) << v;
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, LpkBaselineMatchesReference) {
+  // The LPk ladder implementation must agree with the reference simulator
+  // configured with the same ladder.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed + 5000);
+  const AsGraph g = random_gr_graph(n, rng);
+  for (const std::uint16_t k : {std::uint16_t{1}, std::uint16_t{2},
+                                std::uint16_t{3}}) {
+    const auto lp = LocalPrefPolicy::lp_k(k);
+    const auto d = static_cast<AsId>(rng.next_below(n));
+    auto m = static_cast<AsId>(rng.next_below(n));
+    if (m == d) m = (m + 1) % n;
+    const Query q{d, m, SecurityModel::kInsecure};
+    const auto base = compute_baseline(g, d, m, lp);
+    ReferenceSimulator ref(g, Deployment(n), lp);
+    ASSERT_TRUE(ref.run(q, seed).converged);
+    for (AsId v = 0; v < n; ++v) {
+      if (v == d || v == m) continue;
+      const auto& chosen = ref.chosen(v);
+      ASSERT_EQ(base.has_route(v), chosen.has_value()) << "k=" << k << " " << v;
+      if (!chosen.has_value()) continue;
+      EXPECT_EQ(base.type(v), ref.route_type(v)) << "k=" << k << " AS " << v;
+      EXPECT_EQ(base.length(v), chosen->path.size()) << "k=" << k << " AS " << v;
+      if (ref.routes_to_attacker(v)) {
+        EXPECT_TRUE(base.reaches_attacker(v)) << "k=" << k << " AS " << v;
+      } else {
+        EXPECT_TRUE(base.reaches_destination(v)) << "k=" << k << " AS " << v;
+      }
+    }
+  }
+}
+
+TEST(EquivalenceSimplex, SimplexDeploymentMatches) {
+  util::Rng rng(404);
+  const AsGraph g = random_gr_graph(50, rng);
+  const auto d = static_cast<AsId>(rng.next_below(50));
+  auto m = static_cast<AsId>(rng.next_below(50));
+  if (m == d) m = (m + 1) % 50;
+  Deployment dep(50);
+  for (AsId v = 0; v < 50; ++v) {
+    if (!rng.chance(0.5)) continue;
+    if (g.is_stub(v) && rng.chance(0.5)) {
+      dep.simplex.insert(v);
+    } else {
+      dep.secure.insert(v);
+    }
+  }
+  for (const SecurityModel model : kAllSecurityModels) {
+    const Query q{d, m, model};
+    const auto eng = compute_routing(g, q, dep);
+    ReferenceSimulator ref(g, dep);
+    ASSERT_TRUE(ref.run(q, 9).converged);
+    expect_equivalent(g, eng, ref, q, std::string(to_string(model)));
+  }
+}
+
+}  // namespace
+}  // namespace sbgp::routing

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "routing/engine.h"
+#include "security/happiness.h"
+#include "sim/parallel.h"
+#include "sim/runner.h"
+#include "test_support.h"
+#include "topology/generator.h"
+
+namespace sbgp::sim {
+namespace {
+
+using routing::SecurityModel;
+using test::random_deployment;
+
+TEST(Parallel, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SingleThreadAndZeroCount) {
+  int count = 0;
+  parallel_for(0, [&](std::size_t) { ++count; }, 4);
+  EXPECT_EQ(count, 0);
+  parallel_for(5, [&](std::size_t) { ++count; }, 1);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   },
+                   8),
+               std::runtime_error);
+}
+
+TEST(Sampling, DeterministicAndBounded) {
+  std::vector<routing::AsId> pool(100);
+  std::iota(pool.begin(), pool.end(), 0u);
+  const auto a = sample_ases(pool, 10, 7);
+  const auto b = sample_ases(pool, 10, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10u);
+  const auto all = sample_ases(pool, 1000, 7);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Sampling, NonStubPool) {
+  const auto topo = topology::generate_small_internet(400, 3);
+  const auto pool = non_stub_ases(topo.graph);
+  EXPECT_FALSE(pool.empty());
+  for (const auto v : pool) EXPECT_FALSE(topo.graph.is_stub(v));
+  EXPECT_LT(pool.size(), topo.graph.num_ases() / 2);
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest() : topo_(topology::generate_small_internet(300, 11)) {
+    util::Rng rng(4);
+    dep_ = random_deployment(topo_.graph.num_ases(), 0.4, rng);
+    attackers_ = sample_ases(non_stub_ases(topo_.graph), 6, 1);
+    destinations_ = sample_ases(all_ases(topo_.graph), 6, 2);
+  }
+
+  topology::GeneratedTopology topo_;
+  routing::Deployment dep_;
+  std::vector<routing::AsId> attackers_;
+  std::vector<routing::AsId> destinations_;
+};
+
+TEST_F(RunnerTest, MetricMatchesManualAverage) {
+  const auto metric =
+      estimate_metric(topo_.graph, attackers_, destinations_,
+                      SecurityModel::kSecurityThird, dep_);
+  // Manual sequential computation.
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t pairs = 0;
+  for (const auto m : attackers_) {
+    for (const auto d : destinations_) {
+      if (m == d) continue;
+      const auto out = routing::compute_routing(
+          topo_.graph, {d, m, SecurityModel::kSecurityThird}, dep_);
+      const auto c = security::count_happy(out, d, m);
+      lo += c.lower_fraction();
+      hi += c.upper_fraction();
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(metric.lower, lo / static_cast<double>(pairs), 1e-12);
+  EXPECT_NEAR(metric.upper, hi / static_cast<double>(pairs), 1e-12);
+}
+
+TEST_F(RunnerTest, ThreadCountDoesNotChangeResults) {
+  RunnerOptions one;
+  one.threads = 1;
+  RunnerOptions many;
+  many.threads = 8;
+  const auto a = estimate_metric(topo_.graph, attackers_, destinations_,
+                                 SecurityModel::kSecuritySecond, dep_, one);
+  const auto b = estimate_metric(topo_.graph, attackers_, destinations_,
+                                 SecurityModel::kSecuritySecond, dep_, many);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST_F(RunnerTest, PerDestinationAveragesToOverall) {
+  const auto per_dest =
+      metric_per_destination(topo_.graph, attackers_, destinations_,
+                             SecurityModel::kSecurityThird, dep_);
+  ASSERT_EQ(per_dest.size(), destinations_.size());
+  // With disjoint attacker/destination samples every destination sees the
+  // same number of attackers, so the mean of per-destination values equals
+  // the overall metric.
+  bool disjoint = true;
+  for (const auto m : attackers_) {
+    for (const auto d : destinations_) disjoint &= m != d;
+  }
+  if (disjoint) {
+    security::MetricBounds mean;
+    for (const auto& b : per_dest) mean += b;
+    mean /= static_cast<double>(per_dest.size());
+    const auto overall =
+        estimate_metric(topo_.graph, attackers_, destinations_,
+                        SecurityModel::kSecurityThird, dep_);
+    EXPECT_NEAR(mean.lower, overall.lower, 1e-12);
+    EXPECT_NEAR(mean.upper, overall.upper, 1e-12);
+  }
+}
+
+TEST_F(RunnerTest, BoundsAreOrdered) {
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto m = estimate_metric(topo_.graph, attackers_, destinations_,
+                                   model, dep_);
+    EXPECT_LE(m.lower, m.upper);
+    EXPECT_GE(m.lower, 0.0);
+    EXPECT_LE(m.upper, 1.0);
+  }
+}
+
+TEST_F(RunnerTest, PartitionsBoundTheMetricForAnyDeployment) {
+  // immune <= H_lower and H_upper <= 1 - doomed (Section 4.3).
+  const auto shares =
+      average_partitions(topo_.graph, attackers_, destinations_,
+                         SecurityModel::kSecurityThird);
+  const auto metric =
+      estimate_metric(topo_.graph, attackers_, destinations_,
+                      SecurityModel::kSecurityThird, dep_);
+  EXPECT_LE(shares.immune, metric.lower + 1e-9);
+  EXPECT_LE(metric.upper, 1.0 - shares.doomed + 1e-9);
+}
+
+TEST_F(RunnerTest, BaselineIndependentOfModelDeployment) {
+  // S = empty: all models coincide (the SecP step never fires).
+  routing::Deployment empty(topo_.graph.num_ases());
+  const auto base = estimate_metric(topo_.graph, attackers_, destinations_,
+                                    SecurityModel::kInsecure, empty);
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto m = estimate_metric(topo_.graph, attackers_, destinations_,
+                                   model, empty);
+    EXPECT_DOUBLE_EQ(m.lower, base.lower) << to_string(model);
+    EXPECT_DOUBLE_EQ(m.upper, base.upper);
+  }
+}
+
+TEST_F(RunnerTest, DowngradeAndRootCauseTotalsAgree) {
+  const auto dg = total_downgrades(topo_.graph, attackers_, destinations_,
+                                   SecurityModel::kSecurityThird, dep_);
+  const auto rc = total_root_causes(topo_.graph, attackers_, destinations_,
+                                    SecurityModel::kSecurityThird, dep_);
+  EXPECT_EQ(dg.sources, rc.sources);
+  EXPECT_EQ(dg.secure_normal, rc.secure_normal);
+  EXPECT_EQ(dg.downgraded, rc.downgraded);
+}
+
+TEST_F(RunnerTest, EmptySetsRejected) {
+  EXPECT_THROW(
+      {
+        const auto unused = estimate_metric(topo_.graph, {}, destinations_,
+                                            SecurityModel::kInsecure, dep_);
+        (void)unused;
+      },
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sbgp::sim

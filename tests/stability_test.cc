@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "routing/engine.h"
+#include "security/case_studies.h"
+#include "stability/spp.h"
+#include "stability/wedgie.h"
+#include "test_support.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace sbgp::stability {
+namespace {
+
+using routing::Query;
+using routing::SecurityModel;
+using security::cases::Wedgie;
+using test::random_deployment;
+using test::random_gr_graph;
+
+// ---------------------------------------------------------------------------
+// Stable-state enumeration.
+// ---------------------------------------------------------------------------
+
+TEST(Spp, TrivialChainHasOneState) {
+  topology::AsGraphBuilder b(3);
+  b.add_customer_provider(0, 1);  // d=0 buys from 1
+  b.add_customer_provider(1, 2);  // 1 buys from 2
+  const auto g = b.build();
+  const auto states = enumerate_stable_states(
+      g, Query{0, routing::kNoAs, SecurityModel::kInsecure},
+      routing::Deployment(3));
+  ASSERT_EQ(states.size(), 1u);
+  // 1 routes [0]; 2 routes [1, 0].
+  ASSERT_TRUE(states[0].route[1].has_value());
+  EXPECT_EQ(*states[0].route[1], (std::vector<routing::AsId>{0}));
+  ASSERT_TRUE(states[0].route[2].has_value());
+  EXPECT_EQ(*states[0].route[2], (std::vector<routing::AsId>{1, 0}));
+}
+
+TEST(Spp, WedgieGraphHasTwoStablesUnderMixedPolicy) {
+  const auto g = Wedgie::graph();
+  const auto states = enumerate_stable_states(
+      g, Query{Wedgie::kMit, routing::kNoAs, SecurityModel::kSecurityThird},
+      Wedgie::deployment(), Wedgie::models());
+  EXPECT_EQ(states.size(), 2u);
+}
+
+TEST(Spp, WedgieGraphUniqueUnderUniformPolicy) {
+  const auto g = Wedgie::graph();
+  for (const auto model : routing::kAllSecurityModels) {
+    const auto states = enumerate_stable_states(
+        g, Query{Wedgie::kMit, routing::kNoAs, model}, Wedgie::deployment());
+    EXPECT_EQ(states.size(), 1u) << to_string(model);
+  }
+}
+
+class SppUniqueness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SppUniqueness, UniformPolicyImpliesUniqueStableState) {
+  // Theorem 2.1 via exhaustive enumeration, including under attack, and
+  // the unique state must agree with the staged engine's outcome.
+  util::Rng rng(GetParam());
+  const std::uint32_t n = 7;
+  const auto g = random_gr_graph(n, rng, /*peer_density=*/0.25);
+  const auto dep = random_deployment(n, 0.5, rng);
+  const auto d = static_cast<routing::AsId>(rng.next_below(n));
+  auto m = static_cast<routing::AsId>(rng.next_below(n));
+  if (m == d) m = (m + 1) % n;
+
+  for (const auto model : routing::kAllSecurityModels) {
+    const Query q{d, m, model};
+    const auto states = enumerate_stable_states(g, q, dep);
+    ASSERT_EQ(states.size(), 1u) << to_string(model);
+    const auto eng = routing::compute_routing(g, q, dep);
+    for (routing::AsId v = 0; v < n; ++v) {
+      if (v == d || v == m) continue;
+      const auto& route = states[0].route[v];
+      ASSERT_EQ(route.has_value(), eng.has_route(v)) << v;
+      if (route.has_value()) {
+        EXPECT_EQ(route->size(), eng.length(v)) << v;
+        EXPECT_EQ(g.relation(v, route->front()).has_value(), true);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SppUniqueness,
+                         ::testing::Values(2, 5, 8, 12, 19));
+
+TEST(Spp, RejectsOversizedInstances) {
+  const auto topo = topology::generate_small_internet(200, 9);
+  EXPECT_THROW(
+      enumerate_stable_states(
+          topo.graph,
+          Query{0, routing::kNoAs, SecurityModel::kSecurityThird},
+          routing::Deployment(topo.graph.num_ases())),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The Figure 1 wedgie end to end.
+// ---------------------------------------------------------------------------
+
+TEST(WedgieScenario, MixedPolicyWedges) {
+  const auto report = run_wedgie_scenario();
+  EXPECT_EQ(report.num_stable_states, 2u);
+  // Intended state: Norway on its secure provider route via Sweden.
+  EXPECT_TRUE(report.intended_secure_before);
+  const std::vector<routing::AsId> intended{Wedgie::kSweden, Wedgie::kNianet,
+                                            Wedgie::kMit};
+  EXPECT_EQ(report.norway_path_before, intended);
+  // During the failure Norway must fall back to the insecure branch.
+  EXPECT_FALSE(report.secure_during_failure);
+  // And after recovery it is stuck there: the wedgie.
+  EXPECT_TRUE(report.wedged());
+  const std::vector<routing::AsId> stuck{Wedgie::kHungary, Wedgie::kInsecure,
+                                         Wedgie::kMit};
+  EXPECT_EQ(report.norway_path_after, stuck);
+}
+
+TEST(WedgieScenario, UniformFirstDoesNotWedge) {
+  const auto report = run_uniform_control(SecurityModel::kSecurityFirst);
+  EXPECT_EQ(report.num_stable_states, 1u);
+  EXPECT_TRUE(report.intended_secure_before);
+  EXPECT_TRUE(report.secure_after_recovery);
+  EXPECT_FALSE(report.wedged());
+  EXPECT_EQ(report.norway_path_before, report.norway_path_after);
+}
+
+TEST(WedgieScenario, UniformThirdHasSingleInsecureState) {
+  const auto report = run_uniform_control(SecurityModel::kSecurityThird);
+  EXPECT_EQ(report.num_stable_states, 1u);
+  // Norway always sits on the (insecure) customer branch: LP dominates.
+  EXPECT_FALSE(report.intended_secure_before);
+  EXPECT_FALSE(report.wedged());
+}
+
+}  // namespace
+}  // namespace sbgp::stability

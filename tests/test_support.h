@@ -1,0 +1,62 @@
+// Shared test fixtures: the paper's case-study graphs (re-exported from the
+// library) and random Gao-Rexford graphs for property tests.
+#ifndef SBGP_TESTS_TEST_SUPPORT_H
+#define SBGP_TESTS_TEST_SUPPORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/model.h"
+#include "security/case_studies.h"
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace sbgp::test {
+
+using routing::Deployment;
+using topology::AsGraph;
+using topology::AsGraphBuilder;
+using topology::AsId;
+
+using security::cases::CollateralBenefit;
+using security::cases::CollateralDamage;
+using security::cases::ExportDamage;
+using security::cases::Figure2;
+using security::cases::Wedgie;
+
+/// Random Gao-Rexford graph: node v >= 1 buys transit from 1-3 providers
+/// among [0, v) (guaranteeing an acyclic, connected hierarchy), plus random
+/// peer links. Adversarially unstructured compared to generate_internet,
+/// which makes it a good property-test workload.
+[[nodiscard]] inline AsGraph random_gr_graph(std::uint32_t n, util::Rng& rng,
+                                             double peer_density = 0.8) {
+  AsGraphBuilder b(n);
+  for (AsId v = 1; v < n; ++v) {
+    const auto want = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t i = 0; i < want; ++i) {
+      const auto p = static_cast<AsId>(rng.next_below(v));
+      if (!b.has_edge(v, p)) b.add_customer_provider(v, p);
+    }
+  }
+  const auto peers = static_cast<std::uint32_t>(peer_density * n);
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    const auto a = static_cast<AsId>(rng.next_below(n));
+    const auto c = static_cast<AsId>(rng.next_below(n));
+    if (a != c && !b.has_edge(a, c)) b.add_peer_peer(a, c);
+  }
+  return b.build();
+}
+
+/// Random deployment: each AS secure with probability `p`.
+[[nodiscard]] inline Deployment random_deployment(std::size_t n, double p,
+                                                  util::Rng& rng) {
+  Deployment dep(n);
+  for (AsId v = 0; v < n; ++v) {
+    if (rng.chance(p)) dep.secure.insert(v);
+  }
+  return dep;
+}
+
+}  // namespace sbgp::test
+
+#endif  // SBGP_TESTS_TEST_SUPPORT_H

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "topology/as_graph.h"
+#include "topology/generator.h"
+#include "topology/io.h"
+#include "topology/ixp.h"
+#include "topology/tier.h"
+#include "util/rng.h"
+
+namespace sbgp::topology {
+namespace {
+
+TEST(AsGraphBuilder, BuildsRelationsBothWays) {
+  AsGraphBuilder b(3);
+  b.add_customer_provider(/*customer=*/1, /*provider=*/0);
+  b.add_peer_peer(1, 2);
+  const AsGraph g = b.build();
+  ASSERT_EQ(g.num_ases(), 3u);
+  EXPECT_EQ(g.num_customer_provider_links(), 1u);
+  EXPECT_EQ(g.num_peer_links(), 1u);
+  // 0 sees 1 as customer; 1 sees 0 as provider.
+  ASSERT_EQ(g.customers(0).size(), 1u);
+  EXPECT_EQ(g.customers(0)[0], 1u);
+  ASSERT_EQ(g.providers(1).size(), 1u);
+  EXPECT_EQ(g.providers(1)[0], 0u);
+  EXPECT_EQ(g.relation(0, 1), Relation::kCustomer);
+  EXPECT_EQ(g.relation(1, 0), Relation::kProvider);
+  EXPECT_EQ(g.relation(1, 2), Relation::kPeer);
+  EXPECT_EQ(g.relation(0, 2), std::nullopt);
+}
+
+TEST(AsGraphBuilder, RejectsSelfLoop) {
+  AsGraphBuilder b(2);
+  EXPECT_THROW(b.add_peer_peer(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_customer_provider(0, 0), std::invalid_argument);
+}
+
+TEST(AsGraphBuilder, RejectsDuplicateAndConflictingEdges) {
+  AsGraphBuilder b(3);
+  b.add_customer_provider(1, 0);
+  EXPECT_THROW(b.add_customer_provider(1, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_customer_provider(0, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_peer_peer(0, 1), std::invalid_argument);
+}
+
+TEST(AsGraphBuilder, RejectsOutOfRangeIds) {
+  AsGraphBuilder b(2);
+  EXPECT_THROW(b.add_peer_peer(0, 2), std::invalid_argument);
+}
+
+TEST(AsGraphBuilder, RejectsProviderCycle) {
+  AsGraphBuilder b(3);
+  b.add_customer_provider(0, 1);
+  b.add_customer_provider(1, 2);
+  b.add_customer_provider(2, 0);  // 0 -> 1 -> 2 -> 0: cycle
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(AsGraphBuilder, AcceptsDiamondHierarchy) {
+  AsGraphBuilder b(4);
+  b.add_customer_provider(3, 1);
+  b.add_customer_provider(3, 2);
+  b.add_customer_provider(1, 0);
+  b.add_customer_provider(2, 0);
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(AsGraph, StubDetection) {
+  AsGraphBuilder b(3);
+  b.add_customer_provider(1, 0);
+  b.add_peer_peer(1, 2);
+  const AsGraph g = b.build();
+  EXPECT_FALSE(g.is_stub(0));  // has customer 1
+  EXPECT_TRUE(g.is_stub(1));
+  EXPECT_TRUE(g.is_stub(2));
+}
+
+TEST(Generator, ProducesRequestedSize) {
+  const auto topo = generate_small_internet(400, 3);
+  EXPECT_EQ(topo.graph.num_ases(), 400u);
+  EXPECT_GT(topo.graph.num_customer_provider_links(), 400u);
+  EXPECT_GT(topo.graph.num_peer_links(), 0u);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = generate_small_internet(300, 9);
+  const auto b = generate_small_internet(300, 9);
+  EXPECT_EQ(a.graph.num_customer_provider_links(),
+            b.graph.num_customer_provider_links());
+  EXPECT_EQ(a.graph.num_peer_links(), b.graph.num_peer_links());
+  for (AsId v = 0; v < a.graph.num_ases(); ++v) {
+    ASSERT_EQ(a.graph.degree(v), b.graph.degree(v)) << "AS " << v;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_small_internet(300, 1);
+  const auto b = generate_small_internet(300, 2);
+  bool any_difference =
+      a.graph.num_peer_links() != b.graph.num_peer_links() ||
+      a.graph.num_customer_provider_links() !=
+          b.graph.num_customer_provider_links();
+  for (AsId v = 0; !any_difference && v < a.graph.num_ases(); ++v) {
+    any_difference = a.graph.degree(v) != b.graph.degree(v);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, Tier1sAreProviderFreeAndPeered) {
+  const auto topo = generate_small_internet(500, 4);
+  for (const AsId t1 : topo.tier1) {
+    EXPECT_EQ(topo.graph.provider_degree(t1), 0u);
+    // Clique peering among Tier 1s.
+    EXPECT_GE(topo.graph.peer_degree(t1), topo.tier1.size() - 1);
+  }
+}
+
+TEST(Generator, EveryNonTier1HasAProvider) {
+  const auto topo = generate_small_internet(500, 5);
+  std::vector<bool> is_t1(topo.graph.num_ases(), false);
+  for (const AsId t : topo.tier1) is_t1[t] = true;
+  for (AsId v = 0; v < topo.graph.num_ases(); ++v) {
+    if (!is_t1[v]) {
+      EXPECT_GT(topo.graph.provider_degree(v), 0u) << "AS " << v;
+    }
+  }
+}
+
+TEST(Generator, StubFractionRoughlyRespected) {
+  const auto topo = generate_small_internet(1000, 6);
+  const auto stats = compute_stats(topo.graph);
+  const double frac =
+      static_cast<double>(stats.num_stubs) / static_cast<double>(stats.num_ases);
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.9);
+}
+
+TEST(Generator, ContentProvidersHaveHighPeeringDegree) {
+  const auto topo = generate_small_internet(800, 7);
+  const auto stats = compute_stats(topo.graph);
+  (void)stats;
+  for (const AsId cp : topo.content_providers) {
+    EXPECT_GT(topo.graph.peer_degree(cp), 3u);
+    EXPECT_GT(topo.graph.provider_degree(cp), 0u);
+    EXPECT_EQ(topo.graph.customer_degree(cp), 0u);
+  }
+}
+
+TEST(Generator, RejectsImpossibleParams) {
+  GeneratorParams p;
+  p.num_ases = 50;  // smaller than designated tiers
+  EXPECT_THROW(generate_internet(p), std::invalid_argument);
+}
+
+TEST(TierClassifier, RecoversGeneratorTier1Exactly) {
+  const auto topo = generate_small_internet(600, 8);
+  const auto tiers = topo.classify();
+  const auto& t1 = tiers.bucket(Tier::kTier1);
+  ASSERT_EQ(t1.size(), topo.tier1.size());
+  for (const AsId v : topo.tier1) {
+    EXPECT_EQ(tiers.tier(v), Tier::kTier1) << "AS " << v;
+  }
+}
+
+TEST(TierClassifier, ContentProviderListRespected) {
+  const auto topo = generate_small_internet(600, 8);
+  const auto tiers = topo.classify();
+  for (const AsId cp : topo.content_providers) {
+    EXPECT_EQ(tiers.tier(cp), Tier::kContentProvider);
+  }
+}
+
+TEST(TierClassifier, Tier2MostlyRecovered) {
+  const auto topo = generate_small_internet(1200, 10);
+  const auto tiers = topo.classify();
+  std::size_t hits = 0;
+  for (const AsId v : topo.tier2) {
+    if (tiers.tier(v) == Tier::kTier2) ++hits;
+  }
+  // Classification is degree-based; designated T2s should dominate the top.
+  EXPECT_GE(hits * 10, topo.tier2.size() * 6)
+      << hits << " of " << topo.tier2.size();
+}
+
+TEST(TierClassifier, PartitionsAreExhaustiveAndDisjoint) {
+  const auto topo = generate_small_internet(500, 11);
+  const auto tiers = topo.classify();
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < kNumTiers; ++t) total += tiers.buckets[t].size();
+  EXPECT_EQ(total, topo.graph.num_ases());
+  for (AsId v = 0; v < topo.graph.num_ases(); ++v) {
+    const auto& bucket =
+        tiers.buckets[static_cast<std::size_t>(tiers.tier(v))];
+    EXPECT_NE(std::find(bucket.begin(), bucket.end(), v), bucket.end());
+  }
+}
+
+TEST(TierClassifier, StubsHaveNoCustomers) {
+  const auto topo = generate_small_internet(500, 12);
+  const auto tiers = topo.classify();
+  for (const AsId v : tiers.bucket(Tier::kStub)) {
+    EXPECT_EQ(topo.graph.customer_degree(v), 0u);
+    EXPECT_EQ(topo.graph.peer_degree(v), 0u);
+  }
+  for (const AsId v : tiers.bucket(Tier::kStubX)) {
+    EXPECT_EQ(topo.graph.customer_degree(v), 0u);
+    EXPECT_GT(topo.graph.peer_degree(v), 0u);
+  }
+}
+
+TEST(TierClassifier, StubCustomersHelper) {
+  AsGraphBuilder b(4);
+  b.add_customer_provider(1, 0);  // 1 = stub customer of 0
+  b.add_customer_provider(2, 0);  // 2 has its own customer -> not a stub
+  b.add_customer_provider(3, 2);
+  const AsGraph g = b.build();
+  const auto stubs = stub_customers_of(g, 0);
+  ASSERT_EQ(stubs.size(), 1u);
+  EXPECT_EQ(stubs[0], 1u);
+}
+
+TEST(Ixp, AugmentationAddsOnlyPeerLinks) {
+  const auto topo = generate_small_internet(500, 13);
+  const auto tiers = topo.classify();
+  IxpParams params;
+  params.num_ixps = 8;
+  const auto aug = augment_with_ixps(topo.graph, tiers, params);
+  EXPECT_EQ(aug.graph.num_customer_provider_links(),
+            topo.graph.num_customer_provider_links());
+  EXPECT_EQ(aug.graph.num_peer_links(),
+            topo.graph.num_peer_links() + aug.added_peer_links);
+  EXPECT_GT(aug.added_peer_links, 0u);
+}
+
+TEST(Ixp, AugmentationIsDeterministic) {
+  const auto topo = generate_small_internet(400, 14);
+  const auto tiers = topo.classify();
+  const auto a = augment_with_ixps(topo.graph, tiers);
+  const auto b = augment_with_ixps(topo.graph, tiers);
+  EXPECT_EQ(a.added_peer_links, b.added_peer_links);
+  EXPECT_EQ(a.num_memberships, b.num_memberships);
+}
+
+TEST(Ixp, ToBuilderRoundTrips) {
+  const auto topo = generate_small_internet(300, 15);
+  const AsGraph copy = to_builder(topo.graph).build();
+  EXPECT_EQ(copy.num_customer_provider_links(),
+            topo.graph.num_customer_provider_links());
+  EXPECT_EQ(copy.num_peer_links(), topo.graph.num_peer_links());
+  for (AsId v = 0; v < copy.num_ases(); ++v) {
+    ASSERT_EQ(copy.customer_degree(v), topo.graph.customer_degree(v));
+    ASSERT_EQ(copy.peer_degree(v), topo.graph.peer_degree(v));
+  }
+}
+
+TEST(Io, RoundTripPreservesGraph) {
+  const auto topo = generate_small_internet(200, 16);
+  std::stringstream ss;
+  write_as_rel(ss, topo.graph);
+  const auto loaded = read_as_rel(ss);
+  EXPECT_EQ(loaded.graph.num_ases(), topo.graph.num_ases());
+  EXPECT_EQ(loaded.graph.num_customer_provider_links(),
+            topo.graph.num_customer_provider_links());
+  EXPECT_EQ(loaded.graph.num_peer_links(), topo.graph.num_peer_links());
+}
+
+TEST(Io, ParsesCaidaFormat) {
+  std::stringstream ss("# comment\n100|200|-1\n200|300|0\n");
+  const auto data = read_as_rel(ss);
+  EXPECT_EQ(data.graph.num_ases(), 3u);
+  EXPECT_EQ(data.graph.num_customer_provider_links(), 1u);
+  EXPECT_EQ(data.graph.num_peer_links(), 1u);
+  // 100 is the provider of 200.
+  const AsId id100 = 0;
+  const AsId id200 = 1;
+  EXPECT_EQ(data.asn[id100], 100);
+  EXPECT_EQ(data.graph.relation(id100, id200), Relation::kCustomer);
+}
+
+TEST(Io, RejectsMalformedInput) {
+  std::stringstream ss("not-a-line\n");
+  EXPECT_THROW(read_as_rel(ss), std::runtime_error);
+  std::stringstream ss2("1|2|5\n");
+  EXPECT_THROW(read_as_rel(ss2), std::runtime_error);
+  std::stringstream empty("# nothing\n");
+  EXPECT_THROW(read_as_rel(empty), std::runtime_error);
+}
+
+TEST(Stats, ComputeStatsCountsStubs) {
+  AsGraphBuilder b(3);
+  b.add_customer_provider(1, 0);
+  b.add_customer_provider(2, 0);
+  const auto stats = compute_stats(b.build());
+  EXPECT_EQ(stats.num_stubs, 2u);
+  EXPECT_EQ(stats.max_customer_degree, 2u);
+}
+
+}  // namespace
+}  // namespace sbgp::topology

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/as_set.h"
+#include "util/chart.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace sbgp::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_below(1000), b.next_below(1000));
+  }
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The fork must be deterministic given the parent seed.
+  Rng b(42);
+  Rng child2 = b.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child.next_below(1000), child2.next_below(1000));
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  const auto s = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (const auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(5);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(5);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(rng.pareto_int(3, 1.5), 3u);
+  }
+}
+
+TEST(Rng, ParetoRejectsBadParams) {
+  Rng rng(11);
+  EXPECT_THROW(rng.pareto_int(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto_int(1, 0.0), std::invalid_argument);
+}
+
+TEST(AsSet, InsertEraseContains) {
+  AsSet s(10);
+  EXPECT_FALSE(s.contains(3));
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.count(), 1u);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(AsSet, OutOfRangeQueriesAreFalse) {
+  AsSet s(4);
+  EXPECT_FALSE(s.contains(100));
+  EXPECT_THROW(s.insert(4), std::out_of_range);
+}
+
+TEST(AsSet, MembersSortedAndComplete) {
+  AsSet s = make_as_set(20, {5, 1, 17});
+  const auto m = s.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 1u);
+  EXPECT_EQ(m[1], 5u);
+  EXPECT_EQ(m[2], 17u);
+}
+
+TEST(AsSet, SubsetAndUnion) {
+  AsSet small = make_as_set(10, {1, 2});
+  AsSet big = make_as_set(10, {1, 2, 3});
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  small.insert_all(big);
+  EXPECT_TRUE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(big));
+}
+
+TEST(Stats, SummaryBasics) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 1.0), 3.0);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, Fractions) {
+  const std::vector<double> v{0.0, 0.5, 1.0, 1.5};
+  EXPECT_DOUBLE_EQ(fraction_below(v, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_least(v, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(pct(0.613), "61.3%");
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+}
+
+TEST(Chart, StackedBarsRenderProportionally) {
+  std::ostringstream os;
+  print_stacked_bars(os, {{"x", {0.5, 0.5}}}, {'#', '.'}, 10);
+  EXPECT_NE(os.str().find("#####....."), std::string::npos);
+}
+
+TEST(Chart, RejectsMissingGlyphs) {
+  std::ostringstream os;
+  EXPECT_THROW(print_stacked_bars(os, {{"x", {0.5, 0.5}}}, {'#'}, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sbgp::util
