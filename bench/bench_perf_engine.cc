@@ -11,7 +11,11 @@
 #include "routing/baseline.h"
 #include "routing/engine.h"
 #include "routing/reach.h"
+#include "routing/workspace.h"
+#include "security/happiness.h"
 #include "security/partition.h"
+#include "sim/batch_executor.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "topology/generator.h"
 
@@ -100,15 +104,73 @@ void BM_LpkBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_LpkBaseline)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
 
+void BM_RoutingOutcomeWorkspace(benchmark::State& state) {
+  // Same query stream as BM_RoutingOutcome, but into a long-lived
+  // workspace: the steady-state (allocation-free) per-outcome cost.
+  const auto& topo = topo_for(state.range(0));
+  const auto dep = half_secure(topo.graph);
+  const auto model = static_cast<routing::SecurityModel>(state.range(1));
+  routing::EngineWorkspace ws(topo.graph.num_ases());
+  topology::AsId d = 0;
+  const auto n = static_cast<topology::AsId>(topo.graph.num_ases());
+  for (auto _ : state) {
+    const routing::Query q{d, static_cast<topology::AsId>((d + 7) % n), model};
+    benchmark::DoNotOptimize(routing::compute_routing(topo.graph, q, dep, ws));
+    d = (d + 13) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RoutingOutcomeWorkspace)
+    ->ArgsProduct({{1000, 4000, 10000}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+// The seed runner path: spawn and join fresh threads on every call, one
+// atomic fetch per pair, five fresh RoutingOutcome vectors per pair. Kept
+// here as the comparison baseline for the executor-backed runner.
+security::MetricBounds estimate_metric_spawn_threads(
+    const topology::AsGraph& g, const std::vector<topology::AsId>& attackers,
+    const std::vector<topology::AsId>& destinations,
+    routing::SecurityModel model, const routing::Deployment& dep,
+    std::size_t threads) {
+  struct Pair {
+    topology::AsId m;
+    topology::AsId d;
+  };
+  std::vector<Pair> pairs;
+  for (const auto m : attackers) {
+    for (const auto d : destinations) {
+      if (m != d) pairs.push_back({m, d});
+    }
+  }
+  std::vector<security::MetricBounds> results(pairs.size());
+  sim::parallel_for(
+      pairs.size(),
+      [&](std::size_t i) {
+        const auto out =
+            routing::compute_routing(g, {pairs[i].d, pairs[i].m, model}, dep);
+        const auto c = security::count_happy(out, pairs[i].d, pairs[i].m);
+        results[i] = {c.lower_fraction(), c.upper_fraction()};
+      },
+      threads);
+  security::MetricBounds total;
+  for (const auto& b : results) total += b;
+  total /= static_cast<double>(results.size());
+  return total;
+}
+
 void BM_MetricEstimation(benchmark::State& state) {
-  // End-to-end cost of one H_{M,D}(S) estimate with the given thread count.
-  const auto& topo = topo_for(10000);
+  // End-to-end cost of one H_{M,D}(S) estimate with the given thread count,
+  // on the persistent BatchExecutor (workers and workspaces reused across
+  // iterations — the repeated-runner-call steady state). Args: (graph size,
+  // threads).
+  const auto& topo = topo_for(state.range(0));
   const auto dep = half_secure(topo.graph);
   const auto attackers =
       sim::sample_ases(sim::non_stub_ases(topo.graph), 12, 3);
   const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 12, 4);
+  sim::BatchExecutor executor(static_cast<std::size_t>(state.range(1)));
   sim::RunnerOptions opts;
-  opts.threads = static_cast<std::size_t>(state.range(0));
+  opts.executor = &executor;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         sim::estimate_metric(topo.graph, attackers, dests,
@@ -119,7 +181,74 @@ void BM_MetricEstimation(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * attackers.size() *
                                 dests.size()));
 }
-BENCHMARK(BM_MetricEstimation)->Arg(1)->Arg(4)->Arg(16)
+BENCHMARK(BM_MetricEstimation)
+    ->ArgsProduct({{1000, 10000}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_MetricEstimationSpawnThreads(benchmark::State& state) {
+  // Identical workload on the seed per-call-thread-spawn path; compare
+  // items_per_second against BM_MetricEstimation at the same args.
+  const auto& topo = topo_for(state.range(0));
+  const auto dep = half_secure(topo.graph);
+  const auto attackers =
+      sim::sample_ases(sim::non_stub_ases(topo.graph), 12, 3);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 12, 4);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_metric_spawn_threads(
+        topo.graph, attackers, dests, routing::SecurityModel::kSecurityThird,
+        dep, threads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * attackers.size() *
+                                dests.size()));
+}
+BENCHMARK(BM_MetricEstimationSpawnThreads)
+    ->ArgsProduct({{1000, 10000}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+// Repeated *small* runner calls — the deployment-rollout access pattern
+// (bench_fig7/fig8: one estimate per rollout step). Here per-call overhead
+// dominates: the seed path spawns and joins `threads` std::threads for a
+// handful of pairs on every call, while the executor's pool and workspaces
+// persist across calls. Args: (threads).
+void BM_RepeatedSmallBatchesExecutor(benchmark::State& state) {
+  const auto& topo = topo_for(1000);
+  const auto dep = half_secure(topo.graph);
+  const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 4, 3);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 4, 4);
+  sim::BatchExecutor executor(static_cast<std::size_t>(state.range(0)));
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::estimate_metric(topo.graph, attackers, dests,
+                             routing::SecurityModel::kSecuritySecond, dep,
+                             opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * attackers.size() *
+                                dests.size()));
+}
+BENCHMARK(BM_RepeatedSmallBatchesExecutor)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_RepeatedSmallBatchesSpawnThreads(benchmark::State& state) {
+  const auto& topo = topo_for(1000);
+  const auto dep = half_secure(topo.graph);
+  const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 4, 3);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 4, 4);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_metric_spawn_threads(
+        topo.graph, attackers, dests, routing::SecurityModel::kSecuritySecond,
+        dep, threads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * attackers.size() *
+                                dests.size()));
+}
+BENCHMARK(BM_RepeatedSmallBatchesSpawnThreads)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace

@@ -1,30 +1,36 @@
 #include "routing/baseline.h"
 
 #include <cassert>
-#include <queue>
 #include <stdexcept>
+
+#include "routing/frontier_heap.h"
+#include "routing/workspace.h"
 
 namespace sbgp::routing {
 
 namespace {
 
-using HeapItem = std::pair<std::uint32_t, AsId>;
-using MinHeap =
-    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
-
 struct Ctx {
   const AsGraph& g;
   AsId d;
   AsId m;
-  std::vector<std::uint8_t> fixed;
-  RoutingOutcome out;
+  std::vector<std::uint8_t>& fixed;
+  std::vector<FrontierHeap::Item>& heap_storage;
+  std::vector<AsId>& cands;  // reusable tie-set buffer
+  RoutingOutcome& out;
 
-  Ctx(const AsGraph& graph, AsId dest, AsId attacker)
+  Ctx(const AsGraph& graph, AsId dest, AsId attacker, EngineWorkspace& ws,
+      RoutingOutcome& result)
       : g(graph),
         d(dest),
         m(attacker),
-        fixed(graph.num_ases(), 0),
-        out(graph.num_ases()) {}
+        fixed(ws.fixed),
+        heap_storage(ws.frontier),
+        cands(ws.candidates),
+        out(result) {
+    fixed.assign(graph.num_ases(), 0);
+    out.reset(graph.num_ases());
+  }
 
   [[nodiscard]] bool exports_up(AsId u) const noexcept {
     return out.type(u) == RouteType::kOrigin ||
@@ -32,8 +38,7 @@ struct Ctx {
   }
 
   /// Fixes v from the tie set of neighbors in `cands` (all equally best).
-  void fix_from(AsId v, RouteType t, std::uint32_t len,
-                const std::vector<AsId>& cands) {
+  void fix_from(AsId v, RouteType t, std::uint32_t len) {
     assert(!cands.empty());
     bool reach_d = false;
     bool reach_m = false;
@@ -54,27 +59,23 @@ struct Ctx {
     fixed[v] = 1;
   }
 
-  /// Customer-route candidates of length `len` at v.
-  [[nodiscard]] std::vector<AsId> customer_candidates(AsId v,
-                                                      std::uint32_t len) const {
-    std::vector<AsId> cands;
+  /// Collects customer-route candidates of length `len` at v into `cands`.
+  void gather_customer_candidates(AsId v, std::uint32_t len) {
+    cands.clear();
     for (const AsId c : g.customers(v)) {
       if (fixed[c] && exports_up(c) && out.length(c) + 1u == len) {
         cands.push_back(c);
       }
     }
-    return cands;
   }
 
-  [[nodiscard]] std::vector<AsId> peer_candidates(AsId v,
-                                                  std::uint32_t len) const {
-    std::vector<AsId> cands;
+  void gather_peer_candidates(AsId v, std::uint32_t len) {
+    cands.clear();
     for (const AsId u : g.peers(v)) {
       if (fixed[u] && exports_up(u) && out.length(u) + 1u == len) {
         cands.push_back(u);
       }
     }
-    return cands;
   }
 };
 
@@ -86,9 +87,9 @@ std::vector<AsId> sweep_customer_level(Ctx& ctx, std::uint32_t len,
   for (const AsId u : frontier) {
     for (const AsId p : ctx.g.providers(u)) {
       if (ctx.fixed[p]) continue;
-      const auto cands = ctx.customer_candidates(p, len);
-      if (cands.empty()) continue;
-      ctx.fix_from(p, RouteType::kCustomer, len, cands);
+      ctx.gather_customer_candidates(p, len);
+      if (ctx.cands.empty()) continue;
+      ctx.fix_from(p, RouteType::kCustomer, len);
       fixed_now.push_back(p);
     }
   }
@@ -101,30 +102,29 @@ void sweep_peer_level(Ctx& ctx, std::uint32_t len,
   for (const AsId u : exporters) {
     for (const AsId v : ctx.g.peers(u)) {
       if (ctx.fixed[v]) continue;
-      const auto cands = ctx.peer_candidates(v, len);
-      if (!cands.empty()) ctx.fix_from(v, RouteType::kPeer, len, cands);
+      ctx.gather_peer_candidates(v, len);
+      if (!ctx.cands.empty()) ctx.fix_from(v, RouteType::kPeer, len);
     }
   }
 }
 
 /// Remaining customer routes (length > k) in increasing length order.
 void finish_customer_routes(Ctx& ctx) {
-  MinHeap heap;
+  FrontierHeap heap(ctx.heap_storage);
   for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
     if (!ctx.fixed[u] || !ctx.exports_up(u)) continue;
     for (const AsId p : ctx.g.providers(u)) {
-      if (!ctx.fixed[p]) heap.emplace(ctx.out.length(u) + 1u, p);
+      if (!ctx.fixed[p]) heap.push(ctx.out.length(u) + 1u, p);
     }
   }
   while (!heap.empty()) {
-    const auto [len, v] = heap.top();
-    heap.pop();
+    const auto [len, v] = heap.pop();
     if (ctx.fixed[v]) continue;
-    const auto cands = ctx.customer_candidates(v, len);
-    assert(!cands.empty());
-    ctx.fix_from(v, RouteType::kCustomer, len, cands);
+    ctx.gather_customer_candidates(v, len);
+    assert(!ctx.cands.empty());
+    ctx.fix_from(v, RouteType::kCustomer, len);
     for (const AsId p : ctx.g.providers(v)) {
-      if (!ctx.fixed[p]) heap.emplace(len + 1u, p);
+      if (!ctx.fixed[p]) heap.push(len + 1u, p);
     }
   }
 }
@@ -140,46 +140,47 @@ void finish_peer_routes(Ctx& ctx) {
       }
     }
     if (best == 0xFFFF'FFFFu) continue;
-    ctx.fix_from(v, RouteType::kPeer, best, ctx.peer_candidates(v, best));
+    ctx.gather_peer_candidates(v, best);
+    ctx.fix_from(v, RouteType::kPeer, best);
   }
 }
 
 /// Provider routes: Dijkstra down from every fixed AS.
 void finish_provider_routes(Ctx& ctx) {
-  MinHeap heap;
+  FrontierHeap heap(ctx.heap_storage);
   for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
     if (!ctx.fixed[u]) continue;
     for (const AsId c : ctx.g.customers(u)) {
-      if (!ctx.fixed[c]) heap.emplace(ctx.out.length(u) + 1u, c);
+      if (!ctx.fixed[c]) heap.push(ctx.out.length(u) + 1u, c);
     }
   }
   while (!heap.empty()) {
-    const auto [len, v] = heap.top();
-    heap.pop();
+    const auto [len, v] = heap.pop();
     if (ctx.fixed[v]) continue;
-    std::vector<AsId> cands;
+    ctx.cands.clear();
     for (const AsId p : ctx.g.providers(v)) {
-      if (ctx.fixed[p] && ctx.out.length(p) + 1u == len) cands.push_back(p);
+      if (ctx.fixed[p] && ctx.out.length(p) + 1u == len) ctx.cands.push_back(p);
     }
-    assert(!cands.empty());
-    ctx.fix_from(v, RouteType::kProvider, len, cands);
+    assert(!ctx.cands.empty());
+    ctx.fix_from(v, RouteType::kProvider, len);
     for (const AsId c : ctx.g.customers(v)) {
-      if (!ctx.fixed[c]) heap.emplace(len + 1u, c);
+      if (!ctx.fixed[c]) heap.push(len + 1u, c);
     }
   }
 }
 
 }  // namespace
 
-RoutingOutcome compute_baseline(const AsGraph& g, AsId d, AsId m,
-                                LocalPrefPolicy lp) {
+void compute_baseline_into(const AsGraph& g, AsId d, AsId m,
+                           LocalPrefPolicy lp, EngineWorkspace& ws,
+                           RoutingOutcome& result) {
   if (d >= g.num_ases()) {
     throw std::invalid_argument("compute_baseline: bad destination");
   }
   if (m != kNoAs && (m >= g.num_ases() || m == d)) {
     throw std::invalid_argument("compute_baseline: bad attacker");
   }
-  Ctx ctx(g, d, m);
+  Ctx ctx(g, d, m, ws, result);
   ctx.out.fix(d, RouteType::kOrigin, 0, true, false, false, kNoAs, kNoAs);
   ctx.fixed[d] = 1;
   if (m != kNoAs) {
@@ -211,7 +212,20 @@ RoutingOutcome compute_baseline(const AsGraph& g, AsId d, AsId m,
   finish_customer_routes(ctx);
   finish_peer_routes(ctx);
   finish_provider_routes(ctx);
-  return ctx.out;
+}
+
+const RoutingOutcome& compute_baseline(const AsGraph& g, AsId d, AsId m,
+                                       LocalPrefPolicy lp,
+                                       EngineWorkspace& ws) {
+  compute_baseline_into(g, d, m, lp, ws, ws.baseline);
+  return ws.baseline;
+}
+
+RoutingOutcome compute_baseline(const AsGraph& g, AsId d, AsId m,
+                                LocalPrefPolicy lp) {
+  EngineWorkspace ws;
+  compute_baseline_into(g, d, m, lp, ws, ws.baseline);
+  return std::move(ws.baseline);
 }
 
 }  // namespace sbgp::routing

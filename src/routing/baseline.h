@@ -28,6 +28,17 @@ namespace sbgp::routing {
     const AsGraph& g, AsId d, AsId m = kNoAs,
     LocalPrefPolicy lp = LocalPrefPolicy::standard());
 
+/// Workspace variant: computes into `result` (typically ws.baseline),
+/// reusing ws.fixed / ws.frontier / ws.candidates as scratch.
+void compute_baseline_into(const AsGraph& g, AsId d, AsId m,
+                           LocalPrefPolicy lp, EngineWorkspace& ws,
+                           RoutingOutcome& result);
+
+/// Convenience: computes into ws.baseline and returns it.
+const RoutingOutcome& compute_baseline(const AsGraph& g, AsId d, AsId m,
+                                       LocalPrefPolicy lp,
+                                       EngineWorkspace& ws);
+
 }  // namespace sbgp::routing
 
 #endif  // SBGP_ROUTING_BASELINE_H

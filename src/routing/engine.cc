@@ -1,38 +1,40 @@
 #include "routing/engine.h"
 
-#include <algorithm>
 #include <cassert>
-#include <queue>
 #include <stdexcept>
+
+#include "routing/frontier_heap.h"
+#include "routing/workspace.h"
 
 namespace sbgp::routing {
 
 namespace {
 
-/// Work item for the Dijkstra-style stages: (candidate length, AS).
-using HeapItem = std::pair<std::uint32_t, AsId>;
-using MinHeap =
-    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
-
-/// Mutable state threaded through the stage subroutines.
+/// Mutable state threaded through the stage subroutines. All buffers are
+/// borrowed from an EngineWorkspace so repeated queries reuse capacity.
 struct Ctx {
   const AsGraph& g;
   const Deployment& dep;
   SecurityModel model;
   AsId d;
   AsId m;  // kNoAs when no attack
-  std::vector<std::uint8_t> fixed;
-  RoutingOutcome out;
+  std::vector<std::uint8_t>& fixed;
+  std::vector<FrontierHeap::Item>& heap_storage;
+  RoutingOutcome& out;
 
   Ctx(const AsGraph& graph, const Deployment& deployment, SecurityModel mdl,
-      AsId dest, AsId attacker)
+      AsId dest, AsId attacker, EngineWorkspace& ws, RoutingOutcome& result)
       : g(graph),
         dep(deployment),
         model(mdl),
         d(dest),
         m(attacker),
-        fixed(graph.num_ases(), 0),
-        out(graph.num_ases()) {}
+        fixed(ws.fixed),
+        heap_storage(ws.frontier),
+        out(result) {
+    fixed.assign(graph.num_ases(), 0);
+    out.reset(graph.num_ases());
+  }
 
   /// SecP applies at v? (Baseline ignores the deployment entirely.)
   [[nodiscard]] bool validates(AsId v) const noexcept {
@@ -73,9 +75,9 @@ struct Candidates {
 
   void add(const Ctx& ctx, AsId via, bool secure) {
     any = true;
-    const bool to_d =
-        ctx.out.type(via) == RouteType::kOrigin ? via == ctx.d
-                                                : ctx.out.reaches_destination(via);
+    const bool to_d = ctx.out.type(via) == RouteType::kOrigin
+                          ? via == ctx.d
+                          : ctx.out.reaches_destination(via);
     const bool to_m = ctx.out.type(via) == RouteType::kOrigin
                           ? via == ctx.m
                           : ctx.out.reaches_attacker(via);
@@ -130,12 +132,12 @@ struct Candidates {
 /// With `secure_only`, only validating ASes and fully secure routes take
 /// part (FSCR).
 void customer_stage(Ctx& ctx, bool secure_only) {
-  MinHeap heap;
+  FrontierHeap heap(ctx.heap_storage);
   const auto push_providers = [&](AsId u) {
     for (const AsId p : ctx.g.providers(u)) {
       if (ctx.fixed[p]) continue;
       if (secure_only && !ctx.validates(p)) continue;
-      heap.emplace(ctx.out.length(u) + 1u, p);
+      heap.push(ctx.out.length(u) + 1u, p);
     }
   };
   for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
@@ -144,8 +146,7 @@ void customer_stage(Ctx& ctx, bool secure_only) {
     push_providers(u);
   }
   while (!heap.empty()) {
-    const auto [len, v] = heap.top();
-    heap.pop();
+    const auto [len, v] = heap.pop();
     if (ctx.fixed[v]) continue;
     Candidates cands;
     for (const AsId c : ctx.g.customers(v)) {
@@ -209,12 +210,12 @@ void peer_stage(Ctx& ctx, bool secure_only) {
 /// from every already-fixed AS (all route types export to customers);
 /// shortest fixed first (Appendix B.2).
 void provider_stage(Ctx& ctx, bool secure_only) {
-  MinHeap heap;
+  FrontierHeap heap(ctx.heap_storage);
   const auto push_customers = [&](AsId u) {
     for (const AsId c : ctx.g.customers(u)) {
       if (ctx.fixed[c]) continue;
       if (secure_only && !ctx.validates(c)) continue;
-      heap.emplace(ctx.out.length(u) + 1u, c);
+      heap.push(ctx.out.length(u) + 1u, c);
     }
   };
   for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
@@ -223,8 +224,7 @@ void provider_stage(Ctx& ctx, bool secure_only) {
     push_customers(u);
   }
   while (!heap.empty()) {
-    const auto [len, v] = heap.top();
-    heap.pop();
+    const auto [len, v] = heap.pop();
     if (ctx.fixed[v]) continue;
     Candidates cands;
     for (const AsId p : ctx.g.providers(v)) {
@@ -248,7 +248,8 @@ std::vector<AsId> RoutingOutcome::representative_path(
   AsId cur = v;
   path.push_back(cur);
   while (type_[cur] != RouteType::kOrigin) {
-    const AsId next = toward_destination ? next_toward_d_[cur] : next_toward_m_[cur];
+    const AsId next =
+        toward_destination ? next_toward_d_[cur] : next_toward_m_[cur];
     if (next == kNoAs) {
       throw std::logic_error(
           "representative_path: no path toward requested root");
@@ -297,8 +298,8 @@ void run_stages(Ctx& ctx, const Query& q, const Deployment& deployment) {
 /// Validates the query and installs the two roots: d announces "d" (length
 /// 0); the attacker announces the bogus one-hop-longer "m, d" via legacy
 /// BGP (length 1), Section 3.1.
-Ctx make_context(const AsGraph& g, const Query& q,
-                 const Deployment& deployment) {
+Ctx make_context(const AsGraph& g, const Query& q, const Deployment& deployment,
+                 EngineWorkspace& ws, RoutingOutcome& result) {
   const std::size_t n = g.num_ases();
   if (q.destination >= n) {
     throw std::invalid_argument("compute_routing: bad destination");
@@ -306,7 +307,7 @@ Ctx make_context(const AsGraph& g, const Query& q,
   if (q.attacker != kNoAs && (q.attacker >= n || q.attacker == q.destination)) {
     throw std::invalid_argument("compute_routing: bad attacker");
   }
-  Ctx ctx(g, deployment, q.model, q.destination, q.attacker);
+  Ctx ctx(g, deployment, q.model, q.destination, q.attacker, ws, result);
   ctx.out.fix(q.destination, RouteType::kOrigin, 0, /*reach_d=*/true,
               /*reach_m=*/false, /*secure=*/false, kNoAs, kNoAs);
   ctx.fixed[q.destination] = 1;
@@ -320,23 +321,43 @@ Ctx make_context(const AsGraph& g, const Query& q,
 
 }  // namespace
 
-RoutingOutcome compute_routing(const AsGraph& g, const Query& q,
-                               const Deployment& deployment) {
-  Ctx ctx = make_context(g, q, deployment);
+void compute_routing_into(const AsGraph& g, const Query& q,
+                          const Deployment& deployment, EngineWorkspace& ws,
+                          RoutingOutcome& result) {
+  Ctx ctx = make_context(g, q, deployment, ws, result);
   run_stages(ctx, q, deployment);
-  return ctx.out;
 }
 
-RoutingOutcome compute_routing_with_hysteresis(const AsGraph& g,
-                                               const Query& q,
-                                               const Deployment& deployment) {
-  if (!q.under_attack()) return compute_routing(g, q, deployment);
+const RoutingOutcome& compute_routing(const AsGraph& g, const Query& q,
+                                      const Deployment& deployment,
+                                      EngineWorkspace& ws) {
+  compute_routing_into(g, q, deployment, ws, ws.primary);
+  return ws.primary;
+}
+
+RoutingOutcome compute_routing(const AsGraph& g, const Query& q,
+                               const Deployment& deployment) {
+  EngineWorkspace ws;
+  compute_routing_into(g, q, deployment, ws, ws.primary);
+  return std::move(ws.primary);
+}
+
+void compute_routing_with_hysteresis_into(const AsGraph& g, const Query& q,
+                                          const Deployment& deployment,
+                                          EngineWorkspace& ws,
+                                          RoutingOutcome& result) {
+  if (!q.under_attack()) {
+    compute_routing_into(g, q, deployment, ws, result);
+    return;
+  }
+  assert(&result != &ws.normal);
 
   // Normal conditions first: which ASes hold secure routes to d?
   const Query normal_q{q.destination, kNoAs, q.model};
-  const auto normal = compute_routing(g, normal_q, deployment);
+  compute_routing_into(g, normal_q, deployment, ws, ws.normal);
+  const RoutingOutcome& normal = ws.normal;
 
-  Ctx ctx = make_context(g, q, deployment);
+  Ctx ctx = make_context(g, q, deployment, ws, result);
   // Pin every secure route whose path avoids the attacker: with
   // hysteresis, an AS does not abandon a working secure route just because
   // a "better" insecure one shows up (the Section 8 proposal). Pinned
@@ -344,16 +365,46 @@ RoutingOutcome compute_routing_with_hysteresis(const AsGraph& g,
   // suffix is itself a pinned secure route.
   for (AsId v = 0; v < g.num_ases(); ++v) {
     if (ctx.fixed[v] || !normal.secure_route(v)) continue;
-    const auto path = normal.representative_path(v, /*toward_destination=*/true);
-    if (std::find(path.begin(), path.end(), q.attacker) != path.end()) {
+    // Walk the representative path toward d hop by hop (no allocation);
+    // the attacker can only appear as a transit node of the normal state.
+    bool via_attacker = false;
+    AsId cur = v;
+    while (normal.type(cur) != RouteType::kOrigin) {
+      const AsId next = normal.next_toward(cur, /*toward_destination=*/true);
+      if (next == kNoAs) {
+        throw std::logic_error(
+            "compute_routing_with_hysteresis: broken secure route");
+      }
+      cur = next;
+      if (cur == q.attacker) {
+        via_attacker = true;
+        break;
+      }
+    }
+    if (via_attacker) {
       continue;  // the attacker sits on the route: hysteresis cannot help
     }
     ctx.out.fix(v, normal.type(v), normal.length(v), /*reach_d=*/true,
-                /*reach_m=*/false, /*secure=*/true, path[1], kNoAs);
+                /*reach_m=*/false, /*secure=*/true,
+                normal.next_toward(v, /*toward_destination=*/true), kNoAs);
     ctx.fixed[v] = 1;
   }
   run_stages(ctx, q, deployment);
-  return ctx.out;
+}
+
+const RoutingOutcome& compute_routing_with_hysteresis(
+    const AsGraph& g, const Query& q, const Deployment& deployment,
+    EngineWorkspace& ws) {
+  compute_routing_with_hysteresis_into(g, q, deployment, ws, ws.primary);
+  return ws.primary;
+}
+
+RoutingOutcome compute_routing_with_hysteresis(const AsGraph& g,
+                                               const Query& q,
+                                               const Deployment& deployment) {
+  EngineWorkspace ws;
+  compute_routing_with_hysteresis_into(g, q, deployment, ws, ws.primary);
+  return std::move(ws.primary);
 }
 
 }  // namespace sbgp::routing

@@ -38,12 +38,20 @@ inline constexpr std::uint16_t kNoRouteLength = 0xFFFF;
 /// reaches can depend on tie-breaking, which the reach flags expose.
 class RoutingOutcome {
  public:
-  explicit RoutingOutcome(std::size_t n)
-      : type_(n, RouteType::kNone),
-        length_(n, kNoRouteLength),
-        flags_(n, 0),
-        next_toward_d_(n, kNoAs),
-        next_toward_m_(n, kNoAs) {}
+  /// Empty outcome; reset(n) before use (workspace reuse path).
+  RoutingOutcome() = default;
+  explicit RoutingOutcome(std::size_t n) { reset(n); }
+
+  /// Re-initializes to the all-unfixed state for `n` ASes, reusing the
+  /// existing buffer capacity. This is what makes outcomes cheap to keep in
+  /// a long-lived EngineWorkspace.
+  void reset(std::size_t n) {
+    type_.assign(n, RouteType::kNone);
+    length_.assign(n, kNoRouteLength);
+    flags_.assign(n, 0);
+    next_toward_d_.assign(n, kNoAs);
+    next_toward_m_.assign(n, kNoAs);
+  }
 
   [[nodiscard]] std::size_t num_ases() const noexcept { return type_.size(); }
 
@@ -78,6 +86,13 @@ class RoutingOutcome {
   /// valid if the corresponding reach flag is set.
   [[nodiscard]] std::vector<AsId> representative_path(
       AsId v, bool toward_destination) const;
+
+  /// Next hop of a representative most-preferred route of v toward the
+  /// requested root (kNoAs at origins / routeless ASes). Allocation-free
+  /// building block behind representative_path.
+  [[nodiscard]] AsId next_toward(AsId v, bool toward_destination) const noexcept {
+    return toward_destination ? next_toward_d_[v] : next_toward_m_[v];
+  }
 
   // --- engine-internal setters (public for the implementation file) -----
   void fix(AsId v, RouteType t, std::uint16_t len, bool reach_d, bool reach_m,
@@ -120,6 +135,39 @@ class RoutingOutcome {
 /// of the 1st model's protection the paper's proposed fix could recover.
 [[nodiscard]] RoutingOutcome compute_routing_with_hysteresis(
     const AsGraph& g, const Query& q, const Deployment& deployment);
+
+// --- Workspace variants (allocation-free steady state) ---------------------
+//
+// The variants below compute into buffers owned by an EngineWorkspace (see
+// routing/workspace.h) instead of allocating fresh vectors per query. They
+// are what sim::BatchExecutor workers call in the hot loop; the allocating
+// signatures above are thin wrappers over them.
+
+class EngineWorkspace;
+
+/// Computes the stable routing outcome into `result`, using ws.fixed and
+/// ws.frontier as scratch. `result` is typically one of ws's outcome slots
+/// and must not alias a slot the caller still needs.
+void compute_routing_into(const AsGraph& g, const Query& q,
+                          const Deployment& deployment, EngineWorkspace& ws,
+                          RoutingOutcome& result);
+
+/// Convenience: computes into ws.primary and returns it.
+const RoutingOutcome& compute_routing(const AsGraph& g, const Query& q,
+                                      const Deployment& deployment,
+                                      EngineWorkspace& ws);
+
+/// Hysteresis variant computing into `result`; clobbers ws.normal with the
+/// pre-attack outcome (`result` must not alias ws.normal).
+void compute_routing_with_hysteresis_into(const AsGraph& g, const Query& q,
+                                          const Deployment& deployment,
+                                          EngineWorkspace& ws,
+                                          RoutingOutcome& result);
+
+/// Convenience: hysteresis outcome into ws.primary.
+const RoutingOutcome& compute_routing_with_hysteresis(
+    const AsGraph& g, const Query& q, const Deployment& deployment,
+    EngineWorkspace& ws);
 
 }  // namespace sbgp::routing
 

@@ -1,0 +1,49 @@
+// Min-heap over caller-owned storage for the engine's Dijkstra-style
+// stages. std::priority_queue owns its container and therefore reallocates
+// on every construction; FrontierHeap runs the same (length, AS) ordering
+// over a vector an EngineWorkspace keeps alive across queries.
+#ifndef SBGP_ROUTING_FRONTIER_HEAP_H
+#define SBGP_ROUTING_FRONTIER_HEAP_H
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "topology/types.h"
+
+namespace sbgp::routing {
+
+class FrontierHeap {
+ public:
+  using Item = std::pair<std::uint32_t, topology::AsId>;
+
+  /// Takes over `storage` for the lifetime of the heap (cleared on entry;
+  /// the capacity survives for the next stage/query).
+  explicit FrontierHeap(std::vector<Item>& storage) : items_(storage) {
+    items_.clear();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  void push(std::uint32_t len, topology::AsId v) {
+    items_.emplace_back(len, v);
+    std::push_heap(items_.begin(), items_.end(), std::greater<>{});
+  }
+
+  /// Removes and returns the smallest (length, AS) item.
+  Item pop() {
+    std::pop_heap(items_.begin(), items_.end(), std::greater<>{});
+    const Item top = items_.back();
+    items_.pop_back();
+    return top;
+  }
+
+ private:
+  std::vector<Item>& items_;
+};
+
+}  // namespace sbgp::routing
+
+#endif  // SBGP_ROUTING_FRONTIER_HEAP_H

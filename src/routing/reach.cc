@@ -1,32 +1,40 @@
 #include "routing/reach.h"
 
-#include <queue>
+#include <algorithm>
 #include <stdexcept>
+
+#include "routing/frontier_heap.h"
 
 namespace sbgp::routing {
 
-namespace {
-
-using HeapItem = std::pair<std::uint32_t, AsId>;
-using MinHeap =
-    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
-
-}  // namespace
-
 std::pair<RouteType, std::uint16_t> PerceivableDistances::best(AsId v) const {
-  if (customer[v] != kNoRouteLengthR) return {RouteType::kCustomer, customer[v]};
+  if (customer[v] != kNoRouteLengthR) {
+    return {RouteType::kCustomer, customer[v]};
+  }
   if (peer[v] != kNoRouteLengthR) return {RouteType::kPeer, peer[v]};
-  if (provider[v] != kNoRouteLengthR) return {RouteType::kProvider, provider[v]};
+  if (provider[v] != kNoRouteLengthR) {
+    return {RouteType::kProvider, provider[v]};
+  }
   return {RouteType::kNone, kNoRouteLengthR};
 }
 
 PerceivableDistances perceivable_distances(const AsGraph& g, AsId root,
                                            std::uint16_t root_length,
                                            AsId excluded) {
+  PerceivableDistances dist;
+  std::vector<FrontierHeap::Item> heap_storage;
+  perceivable_distances_into(g, root, root_length, excluded, dist,
+                             heap_storage);
+  return dist;
+}
+
+void perceivable_distances_into(
+    const AsGraph& g, AsId root, std::uint16_t root_length, AsId excluded,
+    PerceivableDistances& dist,
+    std::vector<std::pair<std::uint32_t, AsId>>& heap_storage) {
   const std::size_t n = g.num_ases();
   if (root >= n) throw std::invalid_argument("perceivable_distances: bad root");
   constexpr auto kInf = PerceivableDistances::kNoRouteLengthR;
-  PerceivableDistances dist;
   dist.customer.assign(n, kInf);
   dist.peer.assign(n, kInf);
   dist.provider.assign(n, kInf);
@@ -36,17 +44,16 @@ PerceivableDistances perceivable_distances(const AsGraph& g, AsId root,
   // Customer routes: BFS up customer->provider edges. All hops comply with
   // Ex (each intermediate AS forwards a customer route, exportable to all).
   {
-    MinHeap heap;
+    FrontierHeap heap(heap_storage);
     for (const AsId p : g.providers(root)) {
-      if (!skip(p)) heap.emplace(root_length + 1u, p);
+      if (!skip(p)) heap.push(root_length + 1u, p);
     }
     while (!heap.empty()) {
-      const auto [len, v] = heap.top();
-      heap.pop();
+      const auto [len, v] = heap.pop();
       if (dist.customer[v] != kInf) continue;
       dist.customer[v] = static_cast<std::uint16_t>(len);
       for (const AsId p : g.providers(v)) {
-        if (!skip(p) && dist.customer[p] == kInf) heap.emplace(len + 1u, p);
+        if (!skip(p) && dist.customer[p] == kInf) heap.push(len + 1u, p);
       }
     }
   }
@@ -68,7 +75,7 @@ PerceivableDistances perceivable_distances(const AsGraph& g, AsId root,
   // Provider routes: BFS down provider->customer edges; any perceivable
   // route (customer, peer or provider) may be exported to a customer.
   {
-    MinHeap heap;
+    FrontierHeap heap(heap_storage);
     const auto base_of = [&](AsId v) -> std::uint32_t {
       if (v == root) return root_length;
       std::uint32_t b = std::min<std::uint32_t>(dist.customer[v], dist.peer[v]);
@@ -81,23 +88,21 @@ PerceivableDistances perceivable_distances(const AsGraph& g, AsId root,
                                                 dist.customer[v], dist.peer[v]);
       if (b == kInf) continue;
       for (const AsId c : g.customers(v)) {
-        if (!skip(c)) heap.emplace(b + 1u, c);
+        if (!skip(c)) heap.push(b + 1u, c);
       }
     }
     while (!heap.empty()) {
-      const auto [len, v] = heap.top();
-      heap.pop();
+      const auto [len, v] = heap.pop();
       if (dist.provider[v] <= len) continue;
       // Only an improvement over the node's existing perceivable base can
       // shorten downstream provider routes.
       if (len >= base_of(v)) continue;
       dist.provider[v] = static_cast<std::uint16_t>(len);
       for (const AsId c : g.customers(v)) {
-        if (!skip(c)) heap.emplace(len + 1u, c);
+        if (!skip(c)) heap.push(len + 1u, c);
       }
     }
   }
-  return dist;
 }
 
 }  // namespace sbgp::routing

@@ -12,6 +12,7 @@
 #define SBGP_ROUTING_REACH_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "routing/model.h"
@@ -49,6 +50,14 @@ struct PerceivableDistances {
 [[nodiscard]] PerceivableDistances perceivable_distances(
     const AsGraph& g, AsId root, std::uint16_t root_length = 0,
     AsId excluded = kNoAs);
+
+/// Workspace variant: computes into `dist` (values reset, capacity reused)
+/// using `heap_storage` for the BFS frontiers. The buffers typically live
+/// in an EngineWorkspace (reach_d / reach_m and frontier).
+void perceivable_distances_into(
+    const AsGraph& g, AsId root, std::uint16_t root_length, AsId excluded,
+    PerceivableDistances& dist,
+    std::vector<std::pair<std::uint32_t, AsId>>& heap_storage);
 
 }  // namespace sbgp::routing
 

@@ -1,0 +1,20 @@
+#include "routing/workspace.h"
+
+namespace sbgp::routing {
+
+void EngineWorkspace::reserve(std::size_t num_ases) {
+  primary.reset(num_ases);
+  normal.reset(num_ases);
+  baseline.reset(num_ases);
+  fixed.reserve(num_ases);
+  frontier.reserve(num_ases);
+  candidates.reserve(64);
+  reach_d.customer.reserve(num_ases);
+  reach_d.peer.reserve(num_ases);
+  reach_d.provider.reserve(num_ases);
+  reach_m.customer.reserve(num_ases);
+  reach_m.peer.reserve(num_ases);
+  reach_m.provider.reserve(num_ases);
+}
+
+}  // namespace sbgp::routing

@@ -1,0 +1,55 @@
+// Reusable per-worker buffers for the staged-BFS routing engine.
+//
+// Aggregate experiments (H_{M,D}(S), Figures 3-16) run millions of
+// independent Fix-Routes computations whose per-query state has the same
+// shape every time: a handful of per-AS vectors and a frontier heap. An
+// EngineWorkspace owns that state across queries so a long-lived worker
+// (sim::BatchExecutor) allocates it once and every subsequent query only
+// re-initializes values, never memory. The engine, baseline and
+// reachability entry points all have workspace-taking variants; the
+// original allocating signatures remain as thin wrappers.
+#ifndef SBGP_ROUTING_WORKSPACE_H
+#define SBGP_ROUTING_WORKSPACE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "routing/engine.h"
+#include "routing/reach.h"
+
+namespace sbgp::routing {
+
+/// Long-lived scratch state for routing computations. Not thread-safe: one
+/// workspace per worker. Buffers grow to the largest graph seen and are
+/// reused (values reset, capacity kept) on every query.
+class EngineWorkspace {
+ public:
+  EngineWorkspace() = default;
+  explicit EngineWorkspace(std::size_t num_ases) { reserve(num_ases); }
+
+  /// Pre-grows every buffer for graphs of `num_ases` ASes. Optional: the
+  /// compute entry points size buffers on demand.
+  void reserve(std::size_t num_ases);
+
+  // --- Result slots -----------------------------------------------------
+  // The engine computes into `primary` unless told otherwise; multi-outcome
+  // analyses use `normal` (pre-attack state) and `baseline` (S = emptyset
+  // state) so one workspace covers every security analysis.
+  RoutingOutcome primary;
+  RoutingOutcome normal;
+  RoutingOutcome baseline;
+
+  // --- Staged-BFS engine scratch ---------------------------------------
+  std::vector<std::uint8_t> fixed;  // per-AS "route fixed" flags
+  std::vector<std::pair<std::uint32_t, AsId>> frontier;  // stage heap storage
+  std::vector<AsId> candidates;     // tie-set candidate buffer (baseline)
+
+  // --- Perceivable-reachability scratch (partition analysis) ------------
+  PerceivableDistances reach_d;  // distances toward the destination
+  PerceivableDistances reach_m;  // distances toward the attacker
+};
+
+}  // namespace sbgp::routing
+
+#endif  // SBGP_ROUTING_WORKSPACE_H

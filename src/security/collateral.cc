@@ -1,5 +1,7 @@
 #include "security/collateral.h"
 
+#include "routing/workspace.h"
+
 namespace sbgp::security {
 
 CollateralStats count_collateral(const RoutingOutcome& baseline,
@@ -34,11 +36,21 @@ CollateralStats analyze_collateral(const AsGraph& g, routing::AsId d,
                                    routing::AsId m,
                                    routing::SecurityModel model,
                                    const Deployment& dep) {
-  const auto baseline = routing::compute_routing(
-      g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {});
-  const auto deployed =
-      routing::compute_routing(g, routing::Query{d, m, model}, dep);
-  return count_collateral(baseline, deployed, dep, d, m);
+  routing::EngineWorkspace ws;
+  return analyze_collateral(g, d, m, model, dep, ws);
+}
+
+CollateralStats analyze_collateral(const AsGraph& g, routing::AsId d,
+                                   routing::AsId m,
+                                   routing::SecurityModel model,
+                                   const Deployment& dep,
+                                   routing::EngineWorkspace& ws) {
+  routing::compute_routing_into(
+      g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {}, ws,
+      ws.baseline);
+  routing::compute_routing_into(g, routing::Query{d, m, model}, dep, ws,
+                                ws.primary);
+  return count_collateral(ws.baseline, ws.primary, dep, d, m);
 }
 
 }  // namespace sbgp::security

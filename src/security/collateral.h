@@ -61,6 +61,15 @@ struct CollateralStats {
                                                  routing::SecurityModel model,
                                                  const Deployment& dep);
 
+/// Workspace variant: computes the S = emptyset outcome into ws.baseline
+/// and the deployed outcome into ws.primary, then counts flips.
+[[nodiscard]] CollateralStats analyze_collateral(const AsGraph& g,
+                                                 routing::AsId d,
+                                                 routing::AsId m,
+                                                 routing::SecurityModel model,
+                                                 const Deployment& dep,
+                                                 routing::EngineWorkspace& ws);
+
 }  // namespace sbgp::security
 
 #endif  // SBGP_SECURITY_COLLATERAL_H

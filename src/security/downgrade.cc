@@ -1,14 +1,27 @@
 #include "security/downgrade.h"
 
+#include "routing/workspace.h"
+
 namespace sbgp::security {
 
 DowngradeStats analyze_downgrades(const AsGraph& g, AsId d, AsId m,
                                   routing::SecurityModel model,
                                   const Deployment& dep) {
-  const auto normal =
-      routing::compute_routing(g, Query{d, routing::kNoAs, model}, dep);
-  const auto attacked = routing::compute_routing(g, Query{d, m, model}, dep);
-  const auto cls = classify_sources(g, d, m, model);
+  routing::EngineWorkspace ws;
+  return analyze_downgrades(g, d, m, model, dep, ws);
+}
+
+DowngradeStats analyze_downgrades(const AsGraph& g, AsId d, AsId m,
+                                  routing::SecurityModel model,
+                                  const Deployment& dep,
+                                  routing::EngineWorkspace& ws) {
+  routing::compute_routing_into(g, Query{d, routing::kNoAs, model}, dep, ws,
+                                ws.normal);
+  routing::compute_routing_into(g, Query{d, m, model}, dep, ws, ws.primary);
+  const routing::RoutingOutcome& normal = ws.normal;
+  const routing::RoutingOutcome& attacked = ws.primary;
+  const PartitionContext partition(g, d, m, model,
+                                   routing::LocalPrefPolicy::standard(), ws);
 
   DowngradeStats s;
   for (AsId v = 0; v < g.num_ases(); ++v) {
@@ -20,7 +33,7 @@ DowngradeStats analyze_downgrades(const AsGraph& g, AsId d, AsId m,
     if (before && !during) ++s.downgraded;
     if (during) {
       ++s.secure_kept;
-      if (cls[v] == PartitionClass::kImmune) ++s.kept_and_immune;
+      if (partition.classify(v) == PartitionClass::kImmune) ++s.kept_and_immune;
     }
   }
   return s;

@@ -3,19 +3,14 @@
 #include <stdexcept>
 
 #include "routing/baseline.h"
+#include "routing/workspace.h"
 
 namespace sbgp::security {
 
-namespace {
-
-using routing::PerceivableDistances;
-using routing::perceivable_distances;
-
-}  // namespace
-
-std::vector<PartitionClass> classify_sources(const AsGraph& g, AsId d, AsId m,
-                                             SecurityModel model,
-                                             LocalPrefPolicy lp) {
+PartitionContext::PartitionContext(const AsGraph& g, AsId d, AsId m,
+                                   SecurityModel model, LocalPrefPolicy lp,
+                                   routing::EngineWorkspace& ws)
+    : g_(g), d_(d), m_(m), model_(model), lp_(lp) {
   if (model == SecurityModel::kInsecure) {
     throw std::invalid_argument(
         "classify_sources: partitions are defined for S*BGP models only");
@@ -23,29 +18,34 @@ std::vector<PartitionClass> classify_sources(const AsGraph& g, AsId d, AsId m,
   if (d >= g.num_ases() || m >= g.num_ases() || d == m) {
     throw std::invalid_argument("classify_sources: bad (d, m) pair");
   }
-  const std::size_t n = g.num_ases();
-  std::vector<PartitionClass> cls(n, PartitionClass::kProtectable);
-  cls[d] = PartitionClass::kImmune;
-  cls[m] = PartitionClass::kDoomed;
-
   if (model == SecurityModel::kSecurityFirst) {
     // Exact tests (Observations E.3/E.4): doomed iff d is perceivably
     // unreachable once m is removed; immune if m is perceivably unreachable
     // once d is removed.
-    const auto to_d_avoiding_m = perceivable_distances(g, d, 0, m);
-    const auto to_m_avoiding_d = perceivable_distances(g, m, 0, d);
-    for (AsId v = 0; v < n; ++v) {
-      if (v == d || v == m) continue;
-      if (!to_d_avoiding_m.reachable(v)) {
-        cls[v] = PartitionClass::kDoomed;
-      } else if (!to_m_avoiding_d.reachable(v)) {
-        cls[v] = PartitionClass::kImmune;
-      }
-    }
-    return cls;
+    routing::perceivable_distances_into(g, d, 0, m, ws.reach_d, ws.frontier);
+    routing::perceivable_distances_into(g, m, 0, d, ws.reach_m, ws.frontier);
+    to_d_avoiding_m_ = &ws.reach_d;
+    to_m_avoiding_d_ = &ws.reach_m;
+  } else {
+    // Security 2nd/3rd both classify off the S = emptyset stable state
+    // (Appendix E.1/E.2); see classify() for the per-model reading.
+    routing::compute_baseline_into(g, d, m, lp, ws, ws.baseline);
+    base_ = &ws.baseline;
+  }
+}
+
+PartitionClass PartitionContext::classify(AsId v) const {
+  if (v == d_) return PartitionClass::kImmune;
+  if (v == m_) return PartitionClass::kDoomed;
+
+  if (model_ == SecurityModel::kSecurityFirst) {
+    if (!to_d_avoiding_m_->reachable(v)) return PartitionClass::kDoomed;
+    if (!to_m_avoiding_d_->reachable(v)) return PartitionClass::kImmune;
+    return PartitionClass::kProtectable;
   }
 
-  if (model == SecurityModel::kSecurityThird) {
+  const routing::RoutingOutcome& base = *base_;
+  if (model_ == SecurityModel::kSecurityThird) {
     // Appendix E.1: route class *and length* are deployment-invariant in
     // the security 3rd model, so the tie sets of the S = emptyset stable
     // state decide the partition: an AS whose most-preferred routes all
@@ -53,21 +53,12 @@ std::vector<PartitionClass> classify_sources(const AsGraph& g, AsId d, AsId m,
     // protectable. Perceivable shortest lengths are NOT a substitute: LP
     // can prefer longer routes upstream, making the shortest perceivable
     // length unattainable.
-    const auto base = routing::compute_baseline(g, d, m, lp);
-    for (AsId v = 0; v < n; ++v) {
-      if (v == d || v == m) continue;
-      const bool rd = base.reaches_destination(v);
-      const bool rm = base.reaches_attacker(v);
-      if (rd && !rm) {
-        cls[v] = PartitionClass::kImmune;
-      } else if (!rd) {
-        // Routes only to m, or no route at all: never happy.
-        cls[v] = PartitionClass::kDoomed;
-      } else {
-        cls[v] = PartitionClass::kProtectable;
-      }
-    }
-    return cls;
+    const bool rd = base.reaches_destination(v);
+    const bool rm = base.reaches_attacker(v);
+    if (rd && !rm) return PartitionClass::kImmune;
+    // Routes only to m, or no route at all: never happy.
+    if (!rd) return PartitionClass::kDoomed;
+    return PartitionClass::kProtectable;
   }
 
   // Security 2nd (Appendix E.2): only the route's LP class (the ladder
@@ -79,55 +70,71 @@ std::vector<PartitionClass> classify_sources(const AsGraph& g, AsId d, AsId m,
   // approximation: unlike the 1st/3rd classifications it is heuristic —
   // collateral benefits/damages at *other* ASes can, rarely, cross it
   // (Section 6.1 is precisely about such flips; see DESIGN.md).
-  const auto base = routing::compute_baseline(g, d, m, lp);
-  for (AsId v = 0; v < n; ++v) {
-    if (v == d || v == m) continue;
-    if (!base.has_route(v)) {
-      cls[v] = PartitionClass::kDoomed;  // can never be happy
-      continue;
-    }
-    const std::uint32_t own_rung =
-        [&] {
-          switch (base.type(v)) {
-            case routing::RouteType::kCustomer:
-              return routing::lp_rung(lp, topology::Relation::kCustomer,
-                                      base.length(v));
-            case routing::RouteType::kPeer:
-              return routing::lp_rung(lp, topology::Relation::kPeer,
-                                      base.length(v));
-            default:
-              return routing::lp_rung(lp, topology::Relation::kProvider,
-                                      base.length(v));
-          }
-        }();
+  if (!base.has_route(v)) return PartitionClass::kDoomed;  // never happy
+  const std::uint32_t own_rung =
+      [&] {
+        switch (base.type(v)) {
+          case routing::RouteType::kCustomer:
+            return routing::lp_rung(lp_, topology::Relation::kCustomer,
+                                    base.length(v));
+          case routing::RouteType::kPeer:
+            return routing::lp_rung(lp_, topology::Relation::kPeer,
+                                    base.length(v));
+          default:
+            return routing::lp_rung(lp_, topology::Relation::kProvider,
+                                    base.length(v));
+        }
+      }();
 
-    bool reach_d = false;
-    bool reach_m = false;
-    const auto consider = [&](AsId u, topology::Relation rel) {
-      if (!base.has_route(u)) return;
-      // Export rule: customer routes and origins propagate everywhere;
-      // peer/provider routes only to customers.
-      const bool exports_here =
-          rel == topology::Relation::kProvider ||
-          base.type(u) == routing::RouteType::kOrigin ||
-          base.type(u) == routing::RouteType::kCustomer;
-      if (!exports_here) return;
-      if (routing::lp_rung(lp, rel, base.length(u) + 1u) != own_rung) return;
-      reach_d |= base.reaches_destination(u);
-      reach_m |= base.reaches_attacker(u);
-    };
-    for (const AsId u : g.customers(v)) consider(u, topology::Relation::kCustomer);
-    for (const AsId u : g.peers(v)) consider(u, topology::Relation::kPeer);
-    for (const AsId u : g.providers(v)) consider(u, topology::Relation::kProvider);
+  bool reach_d = false;
+  bool reach_m = false;
+  const auto consider = [&](AsId u, topology::Relation rel) {
+    if (!base.has_route(u)) return;
+    // Export rule: customer routes and origins propagate everywhere;
+    // peer/provider routes only to customers.
+    const bool exports_here =
+        rel == topology::Relation::kProvider ||
+        base.type(u) == routing::RouteType::kOrigin ||
+        base.type(u) == routing::RouteType::kCustomer;
+    if (!exports_here) return;
+    if (routing::lp_rung(lp_, rel, base.length(u) + 1u) != own_rung) return;
+    reach_d |= base.reaches_destination(u);
+    reach_m |= base.reaches_attacker(u);
+  };
+  for (const AsId u : g_.customers(v)) {
+    consider(u, topology::Relation::kCustomer);
+  }
+  for (const AsId u : g_.peers(v)) consider(u, topology::Relation::kPeer);
+  for (const AsId u : g_.providers(v)) {
+    consider(u, topology::Relation::kProvider);
+  }
 
-    if (reach_d && !reach_m) {
-      cls[v] = PartitionClass::kImmune;
-    } else if (reach_m && !reach_d) {
-      cls[v] = PartitionClass::kDoomed;
-    } else {
-      cls[v] = PartitionClass::kProtectable;
+  if (reach_d && !reach_m) return PartitionClass::kImmune;
+  if (reach_m && !reach_d) return PartitionClass::kDoomed;
+  return PartitionClass::kProtectable;
+}
+
+PartitionCounts PartitionContext::counts() const {
+  PartitionCounts c;
+  for (AsId v = 0; v < g_.num_ases(); ++v) {
+    if (v == d_ || v == m_) continue;
+    ++c.sources;
+    switch (classify(v)) {
+      case PartitionClass::kDoomed: ++c.doomed; break;
+      case PartitionClass::kProtectable: ++c.protectable; break;
+      case PartitionClass::kImmune: ++c.immune; break;
     }
   }
+  return c;
+}
+
+std::vector<PartitionClass> classify_sources(const AsGraph& g, AsId d, AsId m,
+                                             SecurityModel model,
+                                             LocalPrefPolicy lp) {
+  routing::EngineWorkspace ws;
+  const PartitionContext ctx(g, d, m, model, lp, ws);
+  std::vector<PartitionClass> cls(g.num_ases());
+  for (AsId v = 0; v < g.num_ases(); ++v) cls[v] = ctx.classify(v);
   return cls;
 }
 
@@ -150,7 +157,8 @@ PartitionShares to_shares(const std::vector<PartitionClass>& cls, AsId d,
 
 PartitionShares partition_shares(const AsGraph& g, AsId d, AsId m,
                                  SecurityModel model, LocalPrefPolicy lp) {
-  return to_shares(classify_sources(g, d, m, model, lp), d, m);
+  routing::EngineWorkspace ws;
+  return PartitionContext(g, d, m, model, lp, ws).counts().shares();
 }
 
 }  // namespace sbgp::security

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "routing/engine.h"
 #include "routing/model.h"
 #include "routing/reach.h"
 #include "topology/as_graph.h"
@@ -79,6 +80,64 @@ struct PartitionShares {
 [[nodiscard]] PartitionShares partition_shares(
     const AsGraph& g, AsId d, AsId m, SecurityModel model,
     LocalPrefPolicy lp = LocalPrefPolicy::standard());
+
+/// Integer class counts over sources — the exact (associative) form of
+/// PartitionShares that batch runners accumulate per worker so merged
+/// results are bit-for-bit independent of the thread count.
+struct PartitionCounts {
+  std::size_t doomed = 0;
+  std::size_t protectable = 0;
+  std::size_t immune = 0;
+  std::size_t sources = 0;
+
+  PartitionCounts& operator+=(const PartitionCounts& o) {
+    doomed += o.doomed;
+    protectable += o.protectable;
+    immune += o.immune;
+    sources += o.sources;
+    return *this;
+  }
+
+  [[nodiscard]] PartitionShares shares() const {
+    PartitionShares s;
+    if (sources == 0) return s;
+    const auto n = static_cast<double>(sources);
+    s.doomed = static_cast<double>(doomed) / n;
+    s.protectable = static_cast<double>(protectable) / n;
+    s.immune = static_cast<double>(immune) / n;
+    return s;
+  }
+};
+
+/// Deployment-invariant classification state for one (m, d) pair, built
+/// into a caller-provided EngineWorkspace (no allocation in steady state).
+/// Construction runs the model's invariant computation once (baseline
+/// stable state for security 2nd/3rd; two exclusion reachability passes for
+/// security 1st); individual sources are then classified in O(deg(v)).
+class PartitionContext {
+ public:
+  /// Throws std::invalid_argument on a bad (d, m) pair or the kInsecure
+  /// model (partitions are only defined for the S*BGP models).
+  PartitionContext(const AsGraph& g, AsId d, AsId m, SecurityModel model,
+                   LocalPrefPolicy lp, routing::EngineWorkspace& ws);
+
+  [[nodiscard]] PartitionClass classify(AsId v) const;
+
+  /// Classifies every source and aggregates the integer counts.
+  [[nodiscard]] PartitionCounts counts() const;
+
+ private:
+  const AsGraph& g_;
+  AsId d_;
+  AsId m_;
+  SecurityModel model_;
+  LocalPrefPolicy lp_;
+  // Security 2nd/3rd: the S = emptyset stable state (ws.baseline).
+  const routing::RoutingOutcome* base_ = nullptr;
+  // Security 1st: exclusion reachability (ws.reach_d / ws.reach_m).
+  const routing::PerceivableDistances* to_d_avoiding_m_ = nullptr;
+  const routing::PerceivableDistances* to_m_avoiding_d_ = nullptr;
+};
 
 }  // namespace sbgp::security
 

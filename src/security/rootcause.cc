@@ -1,6 +1,7 @@
 #include "security/rootcause.h"
 
 #include "routing/engine.h"
+#include "routing/workspace.h"
 
 namespace sbgp::security {
 
@@ -8,13 +9,26 @@ RootCauseStats analyze_root_causes(const AsGraph& g, routing::AsId d,
                                    routing::AsId m,
                                    routing::SecurityModel model,
                                    const Deployment& dep) {
+  routing::EngineWorkspace ws;
+  return analyze_root_causes(g, d, m, model, dep, ws);
+}
+
+RootCauseStats analyze_root_causes(const AsGraph& g, routing::AsId d,
+                                   routing::AsId m,
+                                   routing::SecurityModel model,
+                                   const Deployment& dep,
+                                   routing::EngineWorkspace& ws) {
   using routing::HappyStatus;
-  const auto normal =
-      routing::compute_routing(g, routing::Query{d, routing::kNoAs, model}, dep);
-  const auto attacked =
-      routing::compute_routing(g, routing::Query{d, m, model}, dep);
-  const auto baseline = routing::compute_routing(
-      g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {});
+  routing::compute_routing_into(g, routing::Query{d, routing::kNoAs, model},
+                                dep, ws, ws.normal);
+  routing::compute_routing_into(g, routing::Query{d, m, model}, dep, ws,
+                                ws.primary);
+  routing::compute_routing_into(
+      g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {}, ws,
+      ws.baseline);
+  const routing::RoutingOutcome& normal = ws.normal;
+  const routing::RoutingOutcome& attacked = ws.primary;
+  const routing::RoutingOutcome& baseline = ws.baseline;
 
   RootCauseStats s;
   for (routing::AsId v = 0; v < g.num_ases(); ++v) {

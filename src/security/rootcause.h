@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "routing/engine.h"
 #include "routing/model.h"
 #include "topology/as_graph.h"
 
@@ -64,6 +65,15 @@ struct RootCauseStats {
                                                  routing::AsId m,
                                                  routing::SecurityModel model,
                                                  const Deployment& dep);
+
+/// Workspace variant: the three outcomes land in ws.normal, ws.primary
+/// (attacked with S) and ws.baseline (attacked with S = emptyset).
+[[nodiscard]] RootCauseStats analyze_root_causes(const AsGraph& g,
+                                                 routing::AsId d,
+                                                 routing::AsId m,
+                                                 routing::SecurityModel model,
+                                                 const Deployment& dep,
+                                                 routing::EngineWorkspace& ws);
 
 }  // namespace sbgp::security
 

@@ -1,0 +1,133 @@
+#include "sim/batch_executor.h"
+
+namespace sbgp::sim {
+
+namespace {
+
+/// Chunk size balancing scheduling overhead against tail imbalance: about
+/// eight chunks per participating worker, at least one index each.
+[[nodiscard]] std::size_t chunk_for(std::size_t count, std::size_t workers) {
+  return std::max<std::size_t>(1, count / (workers * 8));
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(std::size_t threads)
+    : num_workers_(threads == 0 ? default_threads() : threads),
+      workspaces_(num_workers_) {}
+
+BatchExecutor::~BatchExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+BatchExecutor& BatchExecutor::shared() {
+  static BatchExecutor executor;
+  return executor;
+}
+
+void BatchExecutor::ensure_started() {
+  if (started_) return;
+  // The caller participates as worker 0, so the pool holds one thread per
+  // remaining worker id.
+  threads_.reserve(num_workers_ - 1);
+  for (std::size_t t = 1; t < num_workers_; ++t) {
+    threads_.emplace_back([this, t] { worker_main(t); });
+  }
+  started_ = true;
+}
+
+void BatchExecutor::drain(Job& job, std::size_t worker) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::size_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.count) return;
+    const std::size_t end = std::min(begin + job.chunk, job.count);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      try {
+        (*job.task)(worker, i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+        stop_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void BatchExecutor::worker_main(std::size_t id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job;
+    std::size_t limit;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_seq_ != seen; });
+      if (shutdown_) return;
+      seen = job_seq_;
+      // The job lives on the caller's stack: job_ is nulled (under this
+      // mutex) before the caller destroys it, so both reads must happen
+      // while the lock is held. job_ == nullptr means the batch already
+      // finished without us — a non-participant woke late.
+      job = job_;
+      limit = job != nullptr ? job->limit : 0;
+    }
+    // Workers beyond the job's limit sit this batch out entirely: they are
+    // not counted in active_ and go straight back to sleep. Participants
+    // (id < limit) may safely use `job` outside the lock — the caller
+    // blocks until every participant has decremented active_.
+    if (id >= limit) continue;
+    drain(*job, id);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void BatchExecutor::run(std::size_t count, const Task& task,
+                        std::size_t max_workers) {
+  if (count == 0) return;
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const std::size_t workers = std::min(effective_workers(max_workers), count);
+
+  if (workers == 1) {
+    // Inline fast path: no pool involvement, natural exception propagation,
+    // and the caller thread reuses workspace(0).
+    for (std::size_t i = 0; i < count; ++i) task(0, i);
+    return;
+  }
+
+  ensure_started();
+  Job job;
+  job.count = count;
+  job.chunk = chunk_for(count, workers);
+  job.limit = workers;
+  job.task = &task;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    job_ = &job;
+    active_ = workers - 1;  // pool participants; the caller is worker 0
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  drain(job, /*worker=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace sbgp::sim

@@ -15,17 +15,23 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const auto worker = [&]() {
-    while (true) {
+    // A failure in any worker raises the shared stop flag so the whole
+    // batch halts at the next index instead of draining to completion.
+    while (!stop.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
         return;
       }
     }

@@ -23,8 +23,13 @@ namespace sbgp::sim {
 }
 
 /// Runs fn(i) for every i in [0, count) across `threads` workers using
-/// dynamic (atomic counter) scheduling. Rethrows the first exception raised
-/// by any worker.
+/// dynamic (atomic counter) scheduling. A failure in any worker raises a
+/// shared stop flag so the remaining workers halt at the next index instead
+/// of draining the batch; the first exception is rethrown to the caller.
+///
+/// Prefer sim::BatchExecutor for repeated batches: it keeps its workers
+/// (and their routing workspaces) alive across calls, whereas parallel_for
+/// spawns and joins fresh threads every time.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = default_threads());
 

@@ -1,42 +1,82 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
-#include "sim/parallel.h"
+#include "routing/workspace.h"
+#include "sim/batch_executor.h"
 #include "util/rng.h"
 
 namespace sbgp::sim {
 
 namespace {
 
-/// Flattens (attacker, destination) pairs, skipping m == d, and applies
-/// `fn(m, d, slot)` in parallel; one result slot per valid pair.
-template <typename Result, typename Fn>
-std::vector<Result> map_pairs(const std::vector<AsId>& attackers,
-                              const std::vector<AsId>& destinations,
-                              const RunnerOptions& opts, Fn fn) {
+struct Pair {
+  AsId m;
+  AsId d;
+  std::size_t dest_index;  // index of d in the destination sample
+};
+
+/// Flattens (attacker, destination) pairs, skipping m == d.
+std::vector<Pair> flatten_pairs(const std::vector<AsId>& attackers,
+                                const std::vector<AsId>& destinations) {
   if (attackers.empty() || destinations.empty()) {
-    throw std::invalid_argument("map_pairs: empty attacker/destination set");
+    throw std::invalid_argument(
+        "flatten_pairs: empty attacker/destination set");
   }
-  struct Pair {
-    AsId m;
-    AsId d;
-  };
   std::vector<Pair> pairs;
   pairs.reserve(attackers.size() * destinations.size());
   for (const AsId m : attackers) {
-    for (const AsId d : destinations) {
-      if (m != d) pairs.push_back({m, d});
+    for (std::size_t di = 0; di < destinations.size(); ++di) {
+      if (m != destinations[di]) pairs.push_back({m, destinations[di], di});
     }
   }
-  std::vector<Result> results(pairs.size());
-  parallel_for(
-      pairs.size(),
-      [&](std::size_t i) { results[i] = fn(pairs[i].m, pairs[i].d); },
-      opts.threads == 0 ? default_threads() : opts.threads);
-  return results;
+  return pairs;
 }
+
+/// Runs `per_pair(workspace, pair, accumulator)` over every valid pair on
+/// the options' executor and returns the per-worker accumulators. Each
+/// accumulator must merge associatively (integer sums) so that folding the
+/// returned vector in worker order is thread-count-independent.
+template <typename Acc, typename PerPair>
+std::vector<Acc> accumulate_pairs(const std::vector<AsId>& attackers,
+                                  const std::vector<AsId>& destinations,
+                                  const RunnerOptions& opts,
+                                  const Acc& init, PerPair per_pair) {
+  const auto pairs = flatten_pairs(attackers, destinations);
+  BatchExecutor& exec =
+      opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
+  const std::size_t workers = exec.effective_workers(opts.threads);
+  std::vector<Acc> accs(workers, init);
+  exec.run(
+      pairs.size(),
+      [&](std::size_t worker, std::size_t i) {
+        per_pair(exec.workspace(worker), pairs[i], accs[worker]);
+      },
+      workers);
+  return accs;
+}
+
+/// Integer form of the happiness metric: exact partial sums per worker.
+struct HappyAcc {
+  std::size_t lower = 0;
+  std::size_t upper = 0;
+  std::size_t sources = 0;
+
+  HappyAcc& operator+=(const HappyAcc& o) {
+    lower += o.lower;
+    upper += o.upper;
+    sources += o.sources;
+    return *this;
+  }
+
+  [[nodiscard]] MetricBounds bounds() const {
+    if (sources == 0) return {};
+    return {static_cast<double>(lower) / static_cast<double>(sources),
+            static_cast<double>(upper) / static_cast<double>(sources)};
+  }
+};
 
 }  // namespace
 
@@ -44,7 +84,8 @@ std::vector<AsId> sample_ases(const std::vector<AsId>& pool,
                               std::size_t max_count, std::uint64_t seed) {
   util::Rng rng(seed);
   const auto n = static_cast<std::uint32_t>(pool.size());
-  const auto k = static_cast<std::uint32_t>(std::min<std::size_t>(max_count, n));
+  const auto k =
+      static_cast<std::uint32_t>(std::min<std::size_t>(max_count, n));
   std::vector<AsId> out;
   out.reserve(k);
   for (const auto idx : rng.sample_without_replacement(n, k)) {
@@ -72,41 +113,43 @@ MetricBounds estimate_metric(const AsGraph& g,
                              const std::vector<AsId>& destinations,
                              SecurityModel model, const Deployment& dep,
                              const RunnerOptions& opts) {
-  const auto per_pair = map_pairs<MetricBounds>(
-      attackers, destinations, opts, [&](AsId m, AsId d) {
-        const auto out = routing::compute_routing(g, {d, m, model}, dep);
-        const auto c = security::count_happy(out, d, m);
-        return MetricBounds{c.lower_fraction(), c.upper_fraction()};
+  // Every pair has the same source count (|V| - 2), so the mean of per-pair
+  // happy fractions equals total happy counts over total sources — which
+  // the workers can accumulate exactly, in integers.
+  const auto accs = accumulate_pairs<HappyAcc>(
+      attackers, destinations, opts, {},
+      [&](routing::EngineWorkspace& ws, const Pair& p, HappyAcc& acc) {
+        const auto& out =
+            routing::compute_routing(g, {p.d, p.m, model}, dep, ws);
+        const auto c = security::count_happy(out, p.d, p.m);
+        acc.lower += c.happy_lower;
+        acc.upper += c.happy_upper;
+        acc.sources += c.sources;
       });
-  MetricBounds total;
-  for (const auto& b : per_pair) total += b;
-  total /= static_cast<double>(per_pair.size());
-  return total;
+  HappyAcc total;
+  for (const auto& a : accs) total += a;
+  return total.bounds();
 }
 
 std::vector<MetricBounds> metric_per_destination(
     const AsGraph& g, const std::vector<AsId>& attackers,
     const std::vector<AsId>& destinations, SecurityModel model,
     const Deployment& dep, const RunnerOptions& opts) {
-  std::vector<MetricBounds> out(destinations.size());
-  std::vector<std::size_t> counts(destinations.size(), 0);
-  const auto per_pair = map_pairs<MetricBounds>(
-      attackers, destinations, opts, [&](AsId m, AsId d) {
-        const auto o = routing::compute_routing(g, {d, m, model}, dep);
-        const auto c = security::count_happy(o, d, m);
-        return MetricBounds{c.lower_fraction(), c.upper_fraction()};
+  using PerDest = std::vector<HappyAcc>;
+  const auto accs = accumulate_pairs<PerDest>(
+      attackers, destinations, opts, PerDest(destinations.size()),
+      [&](routing::EngineWorkspace& ws, const Pair& p, PerDest& acc) {
+        const auto& o = routing::compute_routing(g, {p.d, p.m, model}, dep, ws);
+        const auto c = security::count_happy(o, p.d, p.m);
+        acc[p.dest_index].lower += c.happy_lower;
+        acc[p.dest_index].upper += c.happy_upper;
+        acc[p.dest_index].sources += c.sources;
       });
-  // Pairs are attacker-major; reduce back onto destination indices.
-  std::size_t i = 0;
-  for (std::size_t a = 0; a < attackers.size(); ++a) {
-    for (std::size_t di = 0; di < destinations.size(); ++di) {
-      if (attackers[a] == destinations[di]) continue;
-      out[di] += per_pair[i++];
-      ++counts[di];
-    }
-  }
+  std::vector<MetricBounds> out(destinations.size());
   for (std::size_t di = 0; di < destinations.size(); ++di) {
-    if (counts[di] > 0) out[di] /= static_cast<double>(counts[di]);
+    HappyAcc total;
+    for (const auto& a : accs) total += a[di];
+    out[di] = total.bounds();
   }
   return out;
 }
@@ -116,14 +159,15 @@ PartitionShares average_partitions(const AsGraph& g,
                                    const std::vector<AsId>& destinations,
                                    SecurityModel model, LocalPrefPolicy lp,
                                    const RunnerOptions& opts) {
-  const auto per_pair = map_pairs<PartitionShares>(
-      attackers, destinations, opts, [&](AsId m, AsId d) {
-        return security::partition_shares(g, d, m, model, lp);
+  const auto accs = accumulate_pairs<security::PartitionCounts>(
+      attackers, destinations, opts, {},
+      [&](routing::EngineWorkspace& ws, const Pair& p,
+          security::PartitionCounts& acc) {
+        acc += security::PartitionContext(g, p.d, p.m, model, lp, ws).counts();
       });
-  PartitionShares total;
-  for (const auto& s : per_pair) total += s;
-  total /= static_cast<double>(per_pair.size());
-  return total;
+  security::PartitionCounts total;
+  for (const auto& a : accs) total += a;
+  return total.shares();
 }
 
 security::DowngradeStats total_downgrades(const AsGraph& g,
@@ -132,12 +176,14 @@ security::DowngradeStats total_downgrades(const AsGraph& g,
                                           SecurityModel model,
                                           const Deployment& dep,
                                           const RunnerOptions& opts) {
-  const auto per_pair = map_pairs<security::DowngradeStats>(
-      attackers, destinations, opts, [&](AsId m, AsId d) {
-        return security::analyze_downgrades(g, d, m, model, dep);
+  const auto accs = accumulate_pairs<security::DowngradeStats>(
+      attackers, destinations, opts, {},
+      [&](routing::EngineWorkspace& ws, const Pair& p,
+          security::DowngradeStats& acc) {
+        acc += security::analyze_downgrades(g, p.d, p.m, model, dep, ws);
       });
   security::DowngradeStats total;
-  for (const auto& s : per_pair) total += s;
+  for (const auto& a : accs) total += a;
   return total;
 }
 
@@ -147,12 +193,14 @@ security::CollateralStats total_collateral(const AsGraph& g,
                                            SecurityModel model,
                                            const Deployment& dep,
                                            const RunnerOptions& opts) {
-  const auto per_pair = map_pairs<security::CollateralStats>(
-      attackers, destinations, opts, [&](AsId m, AsId d) {
-        return security::analyze_collateral(g, d, m, model, dep);
+  const auto accs = accumulate_pairs<security::CollateralStats>(
+      attackers, destinations, opts, {},
+      [&](routing::EngineWorkspace& ws, const Pair& p,
+          security::CollateralStats& acc) {
+        acc += security::analyze_collateral(g, p.d, p.m, model, dep, ws);
       });
   security::CollateralStats total;
-  for (const auto& s : per_pair) total += s;
+  for (const auto& a : accs) total += a;
   return total;
 }
 
@@ -162,12 +210,14 @@ security::RootCauseStats total_root_causes(const AsGraph& g,
                                            SecurityModel model,
                                            const Deployment& dep,
                                            const RunnerOptions& opts) {
-  const auto per_pair = map_pairs<security::RootCauseStats>(
-      attackers, destinations, opts, [&](AsId m, AsId d) {
-        return security::analyze_root_causes(g, d, m, model, dep);
+  const auto accs = accumulate_pairs<security::RootCauseStats>(
+      attackers, destinations, opts, {},
+      [&](routing::EngineWorkspace& ws, const Pair& p,
+          security::RootCauseStats& acc) {
+        acc += security::analyze_root_causes(g, p.d, p.m, model, dep, ws);
       });
   security::RootCauseStats total;
-  for (const auto& s : per_pair) total += s;
+  for (const auto& a : accs) total += a;
   return total;
 }
 

@@ -4,8 +4,10 @@
 // The paper evaluates over all |V|^2 pairs on a supercomputer; we sample
 // deterministically (seeded) from the chosen attacker set M and destination
 // set D — the metric is a mean over pairs, so a few thousand samples
-// estimate it tightly. Every runner is parallel over pairs and returns
-// thread-count-independent results.
+// estimate it tightly. Every runner executes on a sim::BatchExecutor
+// (persistent workers, reusable per-worker routing workspaces) and merges
+// per-worker integer partial sums, so results are bit-for-bit independent
+// of the thread count.
 #ifndef SBGP_SIM_RUNNER_H
 #define SBGP_SIM_RUNNER_H
 
@@ -31,8 +33,16 @@ using security::MetricBounds;
 using security::PartitionShares;
 using topology::AsGraph;
 
+class BatchExecutor;
+
 struct RunnerOptions {
-  std::size_t threads = 0;  // 0 = default_threads()
+  /// Worker cap for this call: 0 = every worker of the executor. (Results
+  /// are bit-for-bit independent of this value — runners accumulate
+  /// per-worker integer partials and merge them deterministically.)
+  std::size_t threads = 0;
+  /// Executor to run on; nullptr = the process-wide BatchExecutor::shared().
+  /// Workers and their routing workspaces persist across runner calls.
+  BatchExecutor* executor = nullptr;
 };
 
 /// Deterministically samples up to `max_count` ASes from `pool` (the whole

@@ -88,7 +88,6 @@ GeneratedTopology generate_internet(const GeneratorParams& params) {
   const AsId mid_begin = cp_begin + n_cp;
   const AsId stub_begin = mid_begin + n_mid;
 
-  const auto is_t1 = [&](AsId v) { return v < t2_begin; };
   const auto is_t2 = [&](AsId v) { return v >= t2_begin && v < t3_begin; };
   const auto is_cp = [&](AsId v) { return v >= cp_begin && v < mid_begin; };
   const auto is_mid = [&](AsId v) { return v >= mid_begin && v < stub_begin; };
