@@ -8,10 +8,14 @@
 // the remainder. Paper: most secure routes are lost to downgrades, and
 // almost all surviving ones belong to sources that were immune anyway —
 // i.e. the deployment buys almost nothing.
+//
+// Expressed as a declarative suite: one downgrade spec per CP destination
+// (the "t1-stubs-cp" scenario), plus a single aggregate spec on the
+// IXP-augmented graph (Appendix J, Figure 21).
+#include <algorithm>
 #include <iostream>
 
 #include "security/downgrade.h"
-#include "sim/parallel.h"
 #include "support.h"
 #include "util/table.h"
 
@@ -19,37 +23,17 @@ namespace {
 
 using namespace sbgp;
 
-void run(const topology::AsGraph& g, const bench::BenchContext& ctx,
-         const std::vector<routing::AsId>& cps,
-         const routing::Deployment& dep, const std::string& label,
-         bool per_cp_rows) {
-  std::cout << "\n--- " << label << " ---\n";
-  util::Table table({"CP dest", "secure routes (normal)", "downgraded",
-                     "kept+immune", "kept+other"});
-  security::DowngradeStats grand;
-  for (const auto cp : cps) {
-    std::vector<security::DowngradeStats> per(ctx.attackers.size());
-    sim::parallel_for(ctx.attackers.size(), [&](std::size_t i) {
-      if (ctx.attackers[i] == cp) return;
-      per[i] = security::analyze_downgrades(
-          g, cp, ctx.attackers[i], routing::SecurityModel::kSecurityThird,
-          dep);
-    });
-    security::DowngradeStats total;
-    for (const auto& s : per) total += s;
-    grand += total;
-    if (per_cp_rows && total.sources > 0) {
-      const double n = static_cast<double>(total.sources);
-      table.add_row({"AS " + std::to_string(cp),
-                     util::pct(static_cast<double>(total.secure_normal) / n),
-                     util::pct(static_cast<double>(total.downgraded) / n),
-                     util::pct(static_cast<double>(total.kept_and_immune) / n),
-                     util::pct(static_cast<double>(total.secure_kept -
-                                                   total.kept_and_immune) /
-                               n)});
-    }
-  }
-  if (per_cp_rows) table.print(std::cout);
+sim::ExperimentSpec cp_spec(const bench::BenchContext& ctx,
+                            std::vector<routing::AsId> dests) {
+  auto spec = bench::base_spec(ctx);
+  spec.scenario = "t1-stubs-cp";
+  spec.model = routing::SecurityModel::kSecurityThird;
+  spec.analyses = sim::Analysis::kDowngrades;
+  spec.destinations = std::move(dests);
+  return spec;
+}
+
+void print_aggregate(const security::DowngradeStats& grand) {
   const double n = static_cast<double>(std::max<std::size_t>(1, grand.sources));
   std::cout << "aggregate: secure(normal)="
             << util::pct(static_cast<double>(grand.secure_normal) / n)
@@ -74,19 +58,42 @@ int main(int argc, char** argv) {
       "most secure routes are lost to protocol downgrades; nearly all "
       "survivors belong to immune sources");
 
-  const auto dep =
-      deployment::t1_and_stubs(ctx.graph(), ctx.tiers, /*include_cps=*/true,
-                               deployment::StubMode::kFullSbgp);
   const auto& cps = ctx.tiers.bucket(topology::Tier::kContentProvider);
-  run(ctx.graph(), ctx, cps, dep, "base graph (Figure 13)", true);
 
-  // Appendix J / Figure 21: same computation on the IXP-augmented graph.
+  std::cout << "\n--- base graph (Figure 13) ---\n";
+  std::vector<sim::ExperimentSpec> specs;
+  for (const auto cp : cps) specs.push_back(cp_spec(ctx, {cp}));
+  const auto rows = bench::run_suite(ctx, specs);
+
+  util::Table table({"CP dest", "secure routes (normal)", "downgraded",
+                     "kept+immune", "kept+other"});
+  security::DowngradeStats grand;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& total = rows[i].stats.downgrades;
+    grand += total;
+    if (total.sources > 0) {
+      const double n = static_cast<double>(total.sources);
+      table.add_row({"AS " + std::to_string(cps[i]),
+                     util::pct(static_cast<double>(total.secure_normal) / n),
+                     util::pct(static_cast<double>(total.downgraded) / n),
+                     util::pct(static_cast<double>(total.kept_and_immune) / n),
+                     util::pct(static_cast<double>(total.secure_kept -
+                                                   total.kept_and_immune) /
+                               n)});
+    }
+  }
+  table.print(std::cout);
+  print_aggregate(grand);
+
+  // Appendix J / Figure 21: same computation on the IXP-augmented graph,
+  // aggregate only (one spec over all CP destinations at once).
+  std::cout << "\n--- IXP-augmented graph (Appendix J, Figure 21) - "
+               "aggregate only ---\n";
   const auto ixp = bench::make_ixp_graph(ctx);
   const auto tiers_ixp =
       topology::classify_tiers(ixp, ctx.topo.content_providers);
-  const auto dep_ixp = deployment::t1_and_stubs(
-      ixp, tiers_ixp, /*include_cps=*/true, deployment::StubMode::kFullSbgp);
-  run(ixp, ctx, cps, dep_ixp,
-      "IXP-augmented graph (Appendix J, Figure 21) - aggregate only", false);
+  const auto ixp_rows = sim::run_experiment_suite(
+      ixp, tiers_ixp, {cp_spec(ctx, {cps.begin(), cps.end()})});
+  print_aggregate(ixp_rows.front().stats.downgrades);
   return 0;
 }

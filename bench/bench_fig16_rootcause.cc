@@ -22,18 +22,25 @@ int main(int argc, char** argv) {
       "sec 3rd: downgrades + wasted secure routes eat the gains; sec 1st: "
       "no downgrades, large gain; collateral damages stay rare");
 
-  const auto rollout = deployment::t1_t2_rollout(
-      ctx.graph(), ctx.tiers, deployment::StubMode::kFullSbgp);
-  const auto& dep = rollout.back().deployment;
+  // Declarative suite: one root-cause spec per model on the last T1+T2
+  // rollout step, evaluated in a single fused pass each.
+  std::vector<sim::ExperimentSpec> specs;
+  for (const auto model : routing::kAllSecurityModels) {
+    auto spec = bench::base_spec(ctx);
+    spec.scenario = "t1-t2";
+    spec.model = model;
+    spec.analyses = sim::Analysis::kRootCause;
+    specs.push_back(std::move(spec));
+  }
+  const auto rows = bench::run_suite(ctx, specs);
 
   util::Table table({"model", "secure routes (normal)", "downgraded",
                      "wasted on happy", "protecting", "collateral benefit",
                      "collateral damage", "metric change"});
-  for (const auto model : routing::kAllSecurityModels) {
-    const auto rc = sim::total_root_causes(ctx.graph(), ctx.attackers,
-                                           ctx.destinations, model, dep);
+  for (const auto& row : rows) {
+    const auto& rc = row.stats.root_causes;
     const double n = static_cast<double>(rc.sources);
-    table.add_row({bench::short_model(model),
+    table.add_row({bench::short_model(row.model),
                    util::pct(static_cast<double>(rc.secure_normal) / n),
                    util::pct(static_cast<double>(rc.downgraded) / n),
                    util::pct(static_cast<double>(rc.secure_wasted) / n),

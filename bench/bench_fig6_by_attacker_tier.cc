@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "security/partition.h"
-#include "sim/parallel.h"
+#include "sim/batch_executor.h"
 #include "support.h"
 #include "util/table.h"
 
@@ -46,31 +46,32 @@ void by_source_tier(const bench::BenchContext& ctx,
   std::cout << "\n--- partitions bucketed by SOURCE tier, "
             << bench::short_model(model)
             << " (Section 4.7, figure omitted in the paper) ---\n";
-  struct Pair {
-    routing::AsId m, d;
-  };
-  std::vector<Pair> pairs;
-  for (const auto m : ctx.attackers) {
-    for (const auto d : ctx.destinations) {
-      if (m != d) pairs.push_back({m, d});
-    }
-  }
-  // counts[tier][class]
-  std::vector<std::array<std::array<std::size_t, 3>, topology::kNumTiers>>
-      per_pair(pairs.size());
-  sim::parallel_for(pairs.size(), [&](std::size_t i) {
-    auto& counts = per_pair[i];
-    for (auto& row : counts) row = {0, 0, 0};
-    const auto cls = security::classify_sources(ctx.graph(), pairs[i].d,
-                                                pairs[i].m, model);
-    for (routing::AsId v = 0; v < ctx.graph().num_ases(); ++v) {
-      if (v == pairs[i].d || v == pairs[i].m) continue;
-      const auto t = static_cast<std::size_t>(ctx.tiers.tier(v));
-      ++counts[t][static_cast<std::size_t>(cls[v])];
-    }
-  });
-  std::array<std::array<std::size_t, 3>, topology::kNumTiers> total{};
-  for (const auto& counts : per_pair) {
+  // counts[tier][class], accumulated per executor worker (integer sums, so
+  // the merged totals are thread-count-independent).
+  using TierCounts =
+      std::array<std::array<std::size_t, 3>, topology::kNumTiers>;
+  const auto pairs = sim::make_attack_pairs(ctx.attackers, ctx.destinations);
+  auto& exec = sim::BatchExecutor::shared();
+  const std::size_t workers = exec.effective_workers(0);
+  std::vector<TierCounts> per_worker(workers, TierCounts{});
+  exec.run(
+      pairs.size(),
+      [&](std::size_t worker, std::size_t i) {
+        const auto m = pairs[i].attacker;
+        const auto d = pairs[i].destination;
+        const security::PartitionContext pctx(
+            ctx.graph(), d, m, model, routing::LocalPrefPolicy::standard(),
+            exec.workspace(worker));
+        auto& counts = per_worker[worker];
+        for (routing::AsId v = 0; v < ctx.graph().num_ases(); ++v) {
+          if (v == d || v == m) continue;
+          const auto t = static_cast<std::size_t>(ctx.tiers.tier(v));
+          ++counts[t][static_cast<std::size_t>(pctx.classify(v))];
+        }
+      },
+      workers);
+  TierCounts total{};
+  for (const auto& counts : per_worker) {
     for (std::size_t t = 0; t < topology::kNumTiers; ++t) {
       for (std::size_t c = 0; c < 3; ++c) total[t][c] += counts[t][c];
     }

@@ -15,7 +15,7 @@
 #include "security/happiness.h"
 #include "security/partition.h"
 #include "sim/batch_executor.h"
-#include "sim/parallel.h"
+#include "sim/pair_analysis.h"
 #include "sim/runner.h"
 #include "topology/generator.h"
 
@@ -124,40 +124,6 @@ BENCHMARK(BM_RoutingOutcomeWorkspace)
     ->ArgsProduct({{1000, 4000, 10000}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
-// The seed runner path: spawn and join fresh threads on every call, one
-// atomic fetch per pair, five fresh RoutingOutcome vectors per pair. Kept
-// here as the comparison baseline for the executor-backed runner.
-security::MetricBounds estimate_metric_spawn_threads(
-    const topology::AsGraph& g, const std::vector<topology::AsId>& attackers,
-    const std::vector<topology::AsId>& destinations,
-    routing::SecurityModel model, const routing::Deployment& dep,
-    std::size_t threads) {
-  struct Pair {
-    topology::AsId m;
-    topology::AsId d;
-  };
-  std::vector<Pair> pairs;
-  for (const auto m : attackers) {
-    for (const auto d : destinations) {
-      if (m != d) pairs.push_back({m, d});
-    }
-  }
-  std::vector<security::MetricBounds> results(pairs.size());
-  sim::parallel_for(
-      pairs.size(),
-      [&](std::size_t i) {
-        const auto out =
-            routing::compute_routing(g, {pairs[i].d, pairs[i].m, model}, dep);
-        const auto c = security::count_happy(out, pairs[i].d, pairs[i].m);
-        results[i] = {c.lower_fraction(), c.upper_fraction()};
-      },
-      threads);
-  security::MetricBounds total;
-  for (const auto& b : results) total += b;
-  total /= static_cast<double>(results.size());
-  return total;
-}
-
 void BM_MetricEstimation(benchmark::State& state) {
   // End-to-end cost of one H_{M,D}(S) estimate with the given thread count,
   // on the persistent BatchExecutor (workers and workspaces reused across
@@ -185,33 +151,83 @@ BENCHMARK(BM_MetricEstimation)
     ->ArgsProduct({{1000, 10000}, {1, 4, 16}})
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
-void BM_MetricEstimationSpawnThreads(benchmark::State& state) {
-  // Identical workload on the seed per-call-thread-spawn path; compare
-  // items_per_second against BM_MetricEstimation at the same args.
-  const auto& topo = topo_for(state.range(0));
+// --- Fused vs. separate analyses -------------------------------------------
+//
+// The Table 3 / Figure 16 access pattern: several statistics of the same
+// (attacker, destination, deployment, model) pairs. The fused pipeline
+// computes the shared routing outcomes once per pair; the separate path
+// calls one single-analysis runner per statistic, recomputing them.
+// Engine computations per pair: 3 analyses (downgrades + collateral + root
+// causes) cost 8 separate vs. 3 fused; all 5 cost 10 vs. 3. Compare
+// items_per_second at equal args. Args: (number of analyses: 3 or 5).
+
+sim::PairAnalysisConfig fused_config(std::int64_t analyses) {
+  sim::PairAnalysisConfig cfg;
+  cfg.analyses = sim::Analysis::kDowngrades | sim::Analysis::kCollateral |
+                 sim::Analysis::kRootCause;
+  if (analyses >= 5) {
+    cfg.analyses |= sim::Analysis::kHappiness | sim::Analysis::kPartitions;
+  }
+  cfg.model = routing::SecurityModel::kSecurityThird;
+  return cfg;
+}
+
+void BM_AnalysesFused(benchmark::State& state) {
+  const auto& topo = topo_for(4000);
   const auto dep = half_secure(topo.graph);
-  const auto attackers =
-      sim::sample_ases(sim::non_stub_ases(topo.graph), 12, 3);
-  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 12, 4);
-  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 8, 3);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 8, 4);
+  const auto cfg = fused_config(state.range(0));
+  sim::BatchExecutor executor;
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_metric_spawn_threads(
-        topo.graph, attackers, dests, routing::SecurityModel::kSecurityThird,
-        dep, threads));
+    benchmark::DoNotOptimize(
+        sim::analyze_pairs(topo.graph, attackers, dests, cfg, dep, opts));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * attackers.size() *
                                 dests.size()));
 }
-BENCHMARK(BM_MetricEstimationSpawnThreads)
-    ->ArgsProduct({{1000, 10000}, {1, 4, 16}})
+BENCHMARK(BM_AnalysesFused)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_AnalysesSeparate(benchmark::State& state) {
+  const auto& topo = topo_for(4000);
+  const auto dep = half_secure(topo.graph);
+  const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 8, 3);
+  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 8, 4);
+  const auto model = routing::SecurityModel::kSecurityThird;
+  const bool all_five = state.range(0) >= 5;
+  sim::BatchExecutor executor;
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::total_downgrades(topo.graph, attackers, dests, model, dep, opts));
+    benchmark::DoNotOptimize(
+        sim::total_collateral(topo.graph, attackers, dests, model, dep, opts));
+    benchmark::DoNotOptimize(sim::total_root_causes(topo.graph, attackers,
+                                                    dests, model, dep, opts));
+    if (all_five) {
+      benchmark::DoNotOptimize(
+          sim::estimate_metric(topo.graph, attackers, dests, model, dep, opts));
+      benchmark::DoNotOptimize(sim::average_partitions(
+          topo.graph, attackers, dests, model,
+          routing::LocalPrefPolicy::standard(), opts));
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * attackers.size() *
+                                dests.size()));
+}
+BENCHMARK(BM_AnalysesSeparate)->Arg(3)->Arg(5)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 // Repeated *small* runner calls — the deployment-rollout access pattern
-// (bench_fig7/fig8: one estimate per rollout step). Here per-call overhead
-// dominates: the seed path spawns and joins `threads` std::threads for a
-// handful of pairs on every call, while the executor's pool and workspaces
-// persist across calls. Args: (threads).
+// (bench_fig7/fig8: one estimate per rollout step) on the persistent
+// executor, where workers and workspaces survive across calls. Args:
+// (threads).
 void BM_RepeatedSmallBatchesExecutor(benchmark::State& state) {
   const auto& topo = topo_for(1000);
   const auto dep = half_secure(topo.graph);
@@ -231,24 +247,6 @@ void BM_RepeatedSmallBatchesExecutor(benchmark::State& state) {
                                 dests.size()));
 }
 BENCHMARK(BM_RepeatedSmallBatchesExecutor)->Arg(4)->Arg(16)
-    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
-
-void BM_RepeatedSmallBatchesSpawnThreads(benchmark::State& state) {
-  const auto& topo = topo_for(1000);
-  const auto dep = half_secure(topo.graph);
-  const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 4, 3);
-  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 4, 4);
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_metric_spawn_threads(
-        topo.graph, attackers, dests, routing::SecurityModel::kSecuritySecond,
-        dep, threads));
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * attackers.size() *
-                                dests.size()));
-}
-BENCHMARK(BM_RepeatedSmallBatchesSpawnThreads)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace

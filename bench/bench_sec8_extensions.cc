@@ -17,7 +17,7 @@
 
 #include "routing/engine.h"
 #include "security/happiness.h"
-#include "sim/parallel.h"
+#include "sim/pair_analysis.h"
 #include "support.h"
 #include "util/table.h"
 
@@ -29,29 +29,12 @@ security::MetricBounds metric_with(
     const bench::BenchContext& ctx, const routing::Deployment& dep,
     routing::SecurityModel model, bool hysteresis,
     const std::vector<routing::AsId>& dests) {
-  struct Pair {
-    routing::AsId m, d;
-  };
-  std::vector<Pair> pairs;
-  for (const auto m : ctx.attackers) {
-    for (const auto d : dests) {
-      if (m != d) pairs.push_back({m, d});
-    }
-  }
-  std::vector<security::MetricBounds> per(pairs.size());
-  sim::parallel_for(pairs.size(), [&](std::size_t i) {
-    const routing::Query q{pairs[i].d, pairs[i].m, model};
-    const auto out = hysteresis
-                         ? routing::compute_routing_with_hysteresis(
-                               ctx.graph(), q, dep)
-                         : routing::compute_routing(ctx.graph(), q, dep);
-    const auto c = security::count_happy(out, pairs[i].d, pairs[i].m);
-    per[i] = {c.lower_fraction(), c.upper_fraction()};
-  });
-  security::MetricBounds total;
-  for (const auto& b : per) total += b;
-  total /= static_cast<double>(per.size());
-  return total;
+  sim::PairAnalysisConfig cfg;
+  cfg.analyses = sim::Analysis::kHappiness;
+  cfg.model = model;
+  cfg.hysteresis = hysteresis;
+  return sim::analyze_pairs(ctx.graph(), ctx.attackers, dests, cfg, dep)
+      .happiness.bounds();
 }
 
 }  // namespace

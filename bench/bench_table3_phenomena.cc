@@ -90,17 +90,24 @@ int main(int argc, char** argv) {
   // --- (2) aggregate sweep on the synthetic Internet ------------------
   {
     std::cout << "\n--- aggregate sweep (S = T1+T2+stubs) ---\n";
-    const auto rollout = deployment::t1_t2_rollout(
-        ctx.graph(), ctx.tiers, deployment::StubMode::kFullSbgp);
-    const auto& dep = rollout.back().deployment;
+    // One fused pass per model: downgrades and collateral flips share the
+    // same routing outcomes, so the suite computes them together.
+    std::vector<sim::ExperimentSpec> specs;
+    for (const auto model : routing::kAllSecurityModels) {
+      auto spec = bench::base_spec(ctx);
+      spec.scenario = "t1-t2";
+      spec.model = model;
+      spec.analyses = sim::Analysis::kDowngrades | sim::Analysis::kCollateral;
+      specs.push_back(std::move(spec));
+    }
+    const auto rows = bench::run_suite(ctx, specs);
     util::Table table({"model", "downgrades", "benefits (strict/optimistic)",
                        "damages (strict/optimistic)"});
-    for (const auto model : routing::kAllSecurityModels) {
-      const auto dg = sim::total_downgrades(ctx.graph(), ctx.attackers,
-                                            ctx.destinations, model, dep);
-      const auto col = sim::total_collateral(ctx.graph(), ctx.attackers,
-                                             ctx.destinations, model, dep);
-      table.add_row({bench::short_model(model), std::to_string(dg.downgraded),
+    for (const auto& row : rows) {
+      const auto& dg = row.stats.downgrades;
+      const auto& col = row.stats.collateral;
+      table.add_row({bench::short_model(row.model),
+                     std::to_string(dg.downgraded),
                      std::to_string(col.benefits) + " / " +
                          std::to_string(col.benefits_upper),
                      std::to_string(col.damages) + " / " +

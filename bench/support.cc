@@ -68,4 +68,16 @@ std::vector<AsId> tier_sample(const BenchContext& ctx, Tier t, std::size_t cap,
   return sim::sample_ases(ctx.tiers.bucket(t), cap, seed);
 }
 
+sim::ExperimentSpec base_spec(const BenchContext& ctx) {
+  sim::ExperimentSpec spec;
+  spec.attackers = ctx.attackers;
+  spec.destinations = ctx.destinations;
+  return spec;
+}
+
+std::vector<sim::ExperimentRow> run_suite(
+    const BenchContext& ctx, const std::vector<sim::ExperimentSpec>& specs) {
+  return sim::run_experiment_suite(ctx.graph(), ctx.tiers, specs);
+}
+
 }  // namespace sbgp::bench

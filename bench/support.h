@@ -19,6 +19,7 @@
 #include "deployment/scenario.h"
 #include "routing/model.h"
 #include "security/partition.h"
+#include "sim/experiment.h"
 #include "sim/runner.h"
 #include "topology/generator.h"
 #include "topology/ixp.h"
@@ -63,6 +64,14 @@ void print_banner(const BenchContext& ctx, const std::string& experiment,
 [[nodiscard]] std::vector<AsId> tier_sample(const BenchContext& ctx, Tier t,
                                             std::size_t cap,
                                             std::uint64_t seed);
+
+/// An experiment spec pre-wired to the context's attacker/destination
+/// samples; callers fill in scenario, model and analyses.
+[[nodiscard]] sim::ExperimentSpec base_spec(const BenchContext& ctx);
+
+/// Runs a suite on the context's graph and tiers.
+[[nodiscard]] std::vector<sim::ExperimentRow> run_suite(
+    const BenchContext& ctx, const std::vector<sim::ExperimentSpec>& specs);
 
 }  // namespace sbgp::bench
 

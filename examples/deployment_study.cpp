@@ -2,13 +2,16 @@
 //
 // Compares the candidate early-adopter sets of Section 5 on a synthetic
 // Internet whose size you choose, and prints the paper-style verdict.
+// Expressed as a declarative experiment suite: each candidate is a named
+// scenario from deployment::scenario_registry(), each row one
+// ExperimentSpec, evaluated in a single fused pass per spec.
 //
 //   ./deployment_study [num_ases] [samples]
 #include <cstdlib>
 #include <iostream>
 
 #include "deployment/scenario.h"
-#include "sim/runner.h"
+#include "sim/experiment.h"
 #include "topology/generator.h"
 #include "util/table.h"
 
@@ -33,42 +36,45 @@ int main(int argc, char** argv) {
             << "early-adopter sets with " << samples << "x" << samples
             << " sampled attacks\n\n";
 
-  const auto attackers =
-      sim::sample_ases(sim::non_stub_ases(topo.graph), samples, 1);
-  const auto dests = sim::sample_ases(sim::all_ases(topo.graph), samples, 2);
-  const auto baseline = sim::estimate_metric(
-      topo.graph, attackers, dests, routing::SecurityModel::kInsecure,
-      routing::Deployment(topo.graph.num_ases()));
-
-  struct Candidate {
-    std::string name;
-    routing::Deployment dep;
+  const auto spec_for = [&](const std::string& scenario,
+                            routing::SecurityModel model) {
+    sim::ExperimentSpec spec;
+    spec.scenario = scenario;
+    spec.model = model;
+    spec.analyses = sim::Analysis::kHappiness;
+    spec.num_attackers = samples;
+    spec.num_destinations = samples;
+    spec.sample_seed = 1;
+    return spec;
   };
-  std::vector<Candidate> candidates;
-  candidates.push_back(
-      {"all T1s + stubs", deployment::t1_and_stubs(topo.graph, tiers, false,
-                                                   deployment::StubMode::kFullSbgp)});
-  candidates.push_back(
-      {"top 13 T2s + stubs",
-       deployment::top_t2_and_stubs(topo.graph, tiers, 13,
-                                    deployment::StubMode::kFullSbgp)});
-  const auto t1t2 = deployment::t1_t2_rollout(topo.graph, tiers,
-                                              deployment::StubMode::kFullSbgp);
-  candidates.push_back({"T1s + all T2s + stubs", t1t2.back().deployment});
-  candidates.push_back({"all non-stubs",
-                        deployment::nonstub_deployment(topo.graph)});
 
-  util::Table table({"deployment", "|S|", "model", "gain over origin auth"});
+  std::vector<sim::ExperimentSpec> specs;
+  specs.push_back(spec_for("empty", routing::SecurityModel::kInsecure));
+  const struct {
+    const char* scenario;
+    const char* name;
+  } candidates[] = {
+      {"t1-stubs", "all T1s + stubs"},
+      {"top13-t2-stubs", "top 13 T2s + stubs"},
+      {"t1-t2", "T1s + all T2s + stubs"},
+      {"nonstub", "all non-stubs"},
+  };
   for (const auto& c : candidates) {
     for (const auto model : routing::kAllSecurityModels) {
-      const auto h =
-          sim::estimate_metric(topo.graph, attackers, dests, model, c.dep);
-      table.add_row({c.name,
-                     std::to_string(c.dep.secure.count() +
-                                    c.dep.simplex.count()),
-                     std::string(to_string(model)),
-                     util::pct(h.lower - baseline.lower)});
+      auto spec = spec_for(c.scenario, model);
+      spec.label = c.name;
+      specs.push_back(std::move(spec));
     }
+  }
+  const auto rows = sim::run_experiment_suite(topo.graph, tiers, specs);
+
+  const double baseline = rows.front().stats.happiness.bounds().lower;
+  util::Table table({"deployment", "|S|", "model", "gain over origin auth"});
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    table.add_row({row.label, std::to_string(row.total_secure),
+                   std::string(to_string(row.model)),
+                   util::pct(row.stats.happiness.bounds().lower - baseline)});
   }
   table.print(std::cout);
   std::cout << "\npaper guidelines reproduced: prefer Tier 2 early adopters;"

@@ -1,6 +1,7 @@
 #include "deployment/scenario.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sbgp::deployment {
 
@@ -120,6 +121,81 @@ Deployment top_t2_and_stubs(const AsGraph& g, const TierInfo& tiers,
   const auto& t2 = tiers.bucket(Tier::kTier2);
   secure_prefix_with_stubs(g, tiers, t2, count, mode, dep);
   return dep;
+}
+
+namespace {
+
+/// Wraps a single deployment as a one-step rollout, counting its non-stub
+/// secure ASes for the x-axis field.
+std::vector<RolloutStep> single_step(const AsGraph& g, std::string label,
+                                     Deployment dep) {
+  auto step = finish_step(std::move(label), std::move(dep));
+  for (const AsId v : step.deployment.secure.members()) {
+    if (!g.is_stub(v)) ++step.num_non_stub_secure;
+  }
+  return {std::move(step)};
+}
+
+const std::vector<ScenarioDef>& registry() {
+  static const std::vector<ScenarioDef> defs = {
+      {"t1-t2", "Tier 1 + Tier 2 rollout with stubs (Section 5.2.1)",
+       [](const AsGraph& g, const TierInfo& t, StubMode m) {
+         return t1_t2_rollout(g, t, m);
+       }},
+      {"t1-t2-cp",
+       "Tier 1 + Tier 2 rollout with all content providers (Section 5.2.2)",
+       [](const AsGraph& g, const TierInfo& t, StubMode m) {
+         return t1_t2_cp_rollout(g, t, m);
+       }},
+      {"t2-only", "Tier 2-only rollout with stubs (Section 5.2.4)",
+       [](const AsGraph& g, const TierInfo& t, StubMode m) {
+         return t2_rollout(g, t, m);
+       }},
+      {"nonstub", "all non-stub ASes secure (Section 5.2.4)",
+       [](const AsGraph& g, const TierInfo&, StubMode) {
+         return single_step(g, "all non-stubs", nonstub_deployment(g));
+       }},
+      {"t1-stubs", "all Tier 1s + their stubs (Section 5.3.1)",
+       [](const AsGraph& g, const TierInfo& t, StubMode m) {
+         return single_step(g, "T1+stubs", t1_and_stubs(g, t, false, m));
+       }},
+      {"t1-stubs-cp",
+       "all Tier 1s + their stubs + the CPs (Section 5.3.1, Figure 13)",
+       [](const AsGraph& g, const TierInfo& t, StubMode m) {
+         return single_step(g, "T1+stubs+CP", t1_and_stubs(g, t, true, m));
+       }},
+      {"top13-t2-stubs",
+       "the 13 largest Tier 2s + their stubs (Section 5.3.1's proposal)",
+       [](const AsGraph& g, const TierInfo& t, StubMode m) {
+         return single_step(g, "13xT2+stubs", top_t2_and_stubs(g, t, 13, m));
+       }},
+      {"empty", "S = emptyset (insecure baseline)",
+       [](const AsGraph& g, const TierInfo&, StubMode) {
+         return single_step(g, "empty", Deployment(g.num_ases()));
+       }},
+  };
+  return defs;
+}
+
+}  // namespace
+
+const std::vector<ScenarioDef>& scenario_registry() { return registry(); }
+
+const ScenarioDef* find_scenario(std::string_view name) {
+  for (const auto& def : registry()) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<RolloutStep> build_scenario(std::string_view name, const AsGraph& g,
+                                        const TierInfo& tiers, StubMode mode) {
+  const ScenarioDef* def = find_scenario(name);
+  if (def == nullptr) {
+    throw std::invalid_argument("build_scenario: unknown scenario '" +
+                                std::string(name) + "'");
+  }
+  return def->build(g, tiers, mode);
 }
 
 }  // namespace sbgp::deployment

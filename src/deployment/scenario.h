@@ -16,6 +16,7 @@
 #define SBGP_DEPLOYMENT_SCENARIO_H
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "routing/model.h"
@@ -78,6 +79,41 @@ void secure_isp_with_stubs(const AsGraph& g, const TierInfo& tiers, AsId isp,
 [[nodiscard]] Deployment top_t2_and_stubs(const AsGraph& g,
                                           const TierInfo& tiers,
                                           std::size_t count, StubMode mode);
+
+// --- Named-scenario registry -----------------------------------------------
+//
+// Declarative experiment specs (sim/experiment.h) reference rollouts by
+// name instead of calling the builders above directly, so a whole study is
+// data, not code. Every scenario builds a vector of RolloutStep; scenarios
+// that are a single deployment (e.g. "nonstub") build exactly one step.
+
+/// A named deployment scenario.
+struct ScenarioDef {
+  std::string_view name;
+  std::string_view description;
+  std::vector<RolloutStep> (*build)(const AsGraph&, const TierInfo&, StubMode);
+};
+
+/// All registered scenarios:
+///   t1-t2           Tier 1 + Tier 2 rollout (3 steps, §5.2.1)
+///   t1-t2-cp        same with all content providers secure (§5.2.2)
+///   t2-only         Tier 2-only rollout (4 steps, §5.2.4)
+///   nonstub         all non-stub ASes secure (§5.2.4)
+///   t1-stubs        all Tier 1s + their stubs (§5.3.1)
+///   t1-stubs-cp     the same plus the CPs (§5.3.1, Figure 13's S)
+///   top13-t2-stubs  the 13 largest Tier 2s + stubs (§5.3.1's proposal)
+///   empty           S = emptyset (the insecure baseline)
+[[nodiscard]] const std::vector<ScenarioDef>& scenario_registry();
+
+/// Looks up a scenario by name; nullptr if unknown.
+[[nodiscard]] const ScenarioDef* find_scenario(std::string_view name);
+
+/// Builds a named scenario's rollout steps. Throws std::invalid_argument
+/// for unknown names.
+[[nodiscard]] std::vector<RolloutStep> build_scenario(std::string_view name,
+                                                      const AsGraph& g,
+                                                      const TierInfo& tiers,
+                                                      StubMode mode);
 
 /// Operator survey results the paper cites (Gill et al. [18]): fraction of
 /// surveyed operators who would rank security 1st / 2nd / 3rd; the rest

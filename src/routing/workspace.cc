@@ -6,6 +6,7 @@ void EngineWorkspace::reserve(std::size_t num_ases) {
   primary.reset(num_ases);
   normal.reset(num_ases);
   baseline.reset(num_ases);
+  attacked_empty.reset(num_ases);
   fixed.reserve(num_ases);
   frontier.reserve(num_ases);
   candidates.reserve(64);

@@ -35,10 +35,14 @@ class EngineWorkspace {
   // --- Result slots -----------------------------------------------------
   // The engine computes into `primary` unless told otherwise; multi-outcome
   // analyses use `normal` (pre-attack state) and `baseline` (S = emptyset
-  // state) so one workspace covers every security analysis.
+  // state) so one workspace covers every security analysis. The fused
+  // pair-analysis pipeline (sim/pair_analysis.h) additionally needs the
+  // S = emptyset *attacked* outcome to coexist with the partition
+  // classification state (which owns `baseline`), hence `attacked_empty`.
   RoutingOutcome primary;
   RoutingOutcome normal;
   RoutingOutcome baseline;
+  RoutingOutcome attacked_empty;
 
   // --- Staged-BFS engine scratch ---------------------------------------
   std::vector<std::uint8_t> fixed;  // per-AS "route fixed" flags

@@ -53,4 +53,9 @@ CollateralStats analyze_collateral(const AsGraph& g, routing::AsId d,
   return count_collateral(ws.baseline, ws.primary, dep, d, m);
 }
 
+void accumulate_into(const PairOutcomes& po, CollateralStats& acc) {
+  acc += count_collateral(*po.attacked_empty, *po.attacked, *po.dep, po.d,
+                          po.m);
+}
+
 }  // namespace sbgp::security

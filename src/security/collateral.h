@@ -13,6 +13,7 @@
 
 #include "routing/engine.h"
 #include "routing/model.h"
+#include "security/pair_outcomes.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::security {
@@ -69,6 +70,10 @@ struct CollateralStats {
                                                  routing::SecurityModel model,
                                                  const Deployment& dep,
                                                  routing::EngineWorkspace& ws);
+
+/// Fused-pipeline entry point: counts flips between po.attacked_empty and
+/// po.attacked among sources outside the deployment, adding to `acc`.
+void accumulate_into(const PairOutcomes& po, CollateralStats& acc);
 
 }  // namespace sbgp::security
 

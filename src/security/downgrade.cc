@@ -18,25 +18,40 @@ DowngradeStats analyze_downgrades(const AsGraph& g, AsId d, AsId m,
   routing::compute_routing_into(g, Query{d, routing::kNoAs, model}, dep, ws,
                                 ws.normal);
   routing::compute_routing_into(g, Query{d, m, model}, dep, ws, ws.primary);
-  const routing::RoutingOutcome& normal = ws.normal;
-  const routing::RoutingOutcome& attacked = ws.primary;
   const PartitionContext partition(g, d, m, model,
                                    routing::LocalPrefPolicy::standard(), ws);
 
+  PairOutcomes po;
+  po.g = &g;
+  po.d = d;
+  po.m = m;
+  po.dep = &dep;
+  po.normal = &ws.normal;
+  po.attacked = &ws.primary;
+  po.partition = &partition;
   DowngradeStats s;
-  for (AsId v = 0; v < g.num_ases(); ++v) {
-    if (v == d || v == m) continue;
-    ++s.sources;
+  accumulate_into(po, s);
+  return s;
+}
+
+void accumulate_into(const PairOutcomes& po, DowngradeStats& acc) {
+  const routing::RoutingOutcome& normal = *po.normal;
+  const routing::RoutingOutcome& attacked = *po.attacked;
+  const PartitionContext& partition = *po.partition;
+  for (AsId v = 0; v < po.g->num_ases(); ++v) {
+    if (v == po.d || v == po.m) continue;
+    ++acc.sources;
     const bool before = normal.secure_route(v);
     const bool during = attacked.secure_route(v);
-    if (before) ++s.secure_normal;
-    if (before && !during) ++s.downgraded;
+    if (before) ++acc.secure_normal;
+    if (before && !during) ++acc.downgraded;
     if (during) {
-      ++s.secure_kept;
-      if (partition.classify(v) == PartitionClass::kImmune) ++s.kept_and_immune;
+      ++acc.secure_kept;
+      if (partition.classify(v) == PartitionClass::kImmune) {
+        ++acc.kept_and_immune;
+      }
     }
   }
-  return s;
 }
 
 }  // namespace sbgp::security

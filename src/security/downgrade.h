@@ -13,6 +13,7 @@
 
 #include "routing/engine.h"
 #include "routing/model.h"
+#include "security/pair_outcomes.h"
 #include "security/partition.h"
 #include "topology/as_graph.h"
 
@@ -58,6 +59,11 @@ struct DowngradeStats {
                                                 routing::SecurityModel model,
                                                 const Deployment& dep,
                                                 routing::EngineWorkspace& ws);
+
+/// Fused-pipeline entry point: buckets every source using po.normal,
+/// po.attacked and po.partition (built with the standard LP ladder) and
+/// adds the counts to `acc`.
+void accumulate_into(const PairOutcomes& po, DowngradeStats& acc);
 
 }  // namespace sbgp::security
 

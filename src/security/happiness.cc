@@ -2,6 +2,19 @@
 
 namespace sbgp::security {
 
+MetricBounds HappyTotals::bounds() const {
+  if (sources == 0) return {};
+  return {static_cast<double>(happy_lower) / static_cast<double>(sources),
+          static_cast<double>(happy_upper) / static_cast<double>(sources)};
+}
+
+void accumulate_into(const PairOutcomes& po, HappyTotals& acc) {
+  const auto c = count_happy(*po.attacked, po.d, po.m);
+  acc.happy_lower += c.happy_lower;
+  acc.happy_upper += c.happy_upper;
+  acc.sources += c.sources;
+}
+
 HappyCount count_happy(const RoutingOutcome& out, AsId d, AsId m) {
   HappyCount c;
   for (AsId v = 0; v < out.num_ases(); ++v) {

@@ -13,6 +13,7 @@
 
 #include "routing/engine.h"
 #include "routing/model.h"
+#include "security/pair_outcomes.h"
 
 namespace sbgp::security {
 
@@ -41,6 +42,30 @@ struct HappyCount {
 /// route are never happy. `m` may be kNoAs (normal conditions), in which
 /// case happiness means reaching d and sources = |V| - 1.
 [[nodiscard]] HappyCount count_happy(const RoutingOutcome& out, AsId d, AsId m);
+
+/// Exact integer totals of happy-source counts over many pairs — the
+/// associative form batch runners accumulate per worker so merged results
+/// are bit-for-bit independent of the thread count. Because every pair has
+/// the same source count (|V| - 2), the ratio of totals equals the mean of
+/// per-pair fractions.
+struct HappyTotals {
+  std::size_t happy_lower = 0;
+  std::size_t happy_upper = 0;
+  std::size_t sources = 0;
+
+  HappyTotals& operator+=(const HappyTotals& o) {
+    happy_lower += o.happy_lower;
+    happy_upper += o.happy_upper;
+    sources += o.sources;
+    return *this;
+  }
+
+  [[nodiscard]] struct MetricBounds bounds() const;
+};
+
+/// Fused-pipeline entry point: counts happy sources in po.attacked and adds
+/// them to `acc`.
+void accumulate_into(const PairOutcomes& po, HappyTotals& acc);
 
 /// Bounds on the metric H once averaged over pairs.
 struct MetricBounds {

@@ -1,0 +1,54 @@
+// Shared per-pair routing state for the fused analysis pipeline.
+//
+// Every aggregate statistic of the paper's evaluation (happiness bounds,
+// partitions, downgrades, collateral flips, root causes) is a function of
+// the same handful of stable routing outcomes for one (attacker m,
+// destination d, deployment S, model) instance. A PairOutcomes bundles
+// non-owning views of those outcomes so each analysis can expose an
+// accumulate_into(const PairOutcomes&, Stats&) entry point and the pipeline
+// (sim/pair_analysis.h) can compute each outcome exactly once per pair,
+// however many analyses are selected.
+//
+// Which slots an analysis reads:
+//   happiness    attacked
+//   partitions   partition
+//   downgrades   normal, attacked, partition
+//   collateral   attacked_empty, attacked
+//   root causes  normal, attacked, attacked_empty
+// Unused slots may stay null; each accumulate_into asserts what it needs.
+#ifndef SBGP_SECURITY_PAIR_OUTCOMES_H
+#define SBGP_SECURITY_PAIR_OUTCOMES_H
+
+#include "routing/engine.h"
+#include "routing/model.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::security {
+
+class PartitionContext;
+
+/// Non-owning view of the routing outcomes computed for one attack instance
+/// (m on d) under deployment `dep`. The pointed-to outcomes typically live
+/// in a worker's routing::EngineWorkspace and are only valid until the next
+/// pair is computed.
+struct PairOutcomes {
+  const topology::AsGraph* g = nullptr;
+  topology::AsId d = topology::kNoAs;
+  topology::AsId m = topology::kNoAs;
+  const routing::Deployment* dep = nullptr;
+
+  /// Stable state under attack with deployment S (query {d, m, model}).
+  const routing::RoutingOutcome* attacked = nullptr;
+  /// Stable state under normal conditions with S (query {d, kNoAs, model}).
+  const routing::RoutingOutcome* normal = nullptr;
+  /// Stable state under attack with S = emptyset ({d, m, kInsecure}).
+  const routing::RoutingOutcome* attacked_empty = nullptr;
+  /// Deployment-invariant partition classification for (d, m). The fused
+  /// pipeline builds this with the standard LP ladder whenever the
+  /// downgrade analysis is selected (matching analyze_downgrades).
+  const PartitionContext* partition = nullptr;
+};
+
+}  // namespace sbgp::security
+
+#endif  // SBGP_SECURITY_PAIR_OUTCOMES_H

@@ -161,4 +161,8 @@ PartitionShares partition_shares(const AsGraph& g, AsId d, AsId m,
   return PartitionContext(g, d, m, model, lp, ws).counts().shares();
 }
 
+void accumulate_into(const PairOutcomes& po, PartitionCounts& acc) {
+  acc += po.partition->counts();
+}
+
 }  // namespace sbgp::security

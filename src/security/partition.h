@@ -27,6 +27,7 @@
 #include "routing/engine.h"
 #include "routing/model.h"
 #include "routing/reach.h"
+#include "security/pair_outcomes.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::security {
@@ -138,6 +139,10 @@ class PartitionContext {
   const routing::PerceivableDistances* to_d_avoiding_m_ = nullptr;
   const routing::PerceivableDistances* to_m_avoiding_d_ = nullptr;
 };
+
+/// Fused-pipeline entry point: classifies every source via po.partition and
+/// adds the integer class counts to `acc`.
+void accumulate_into(const PairOutcomes& po, PartitionCounts& acc);
 
 }  // namespace sbgp::security
 

@@ -26,27 +26,42 @@ RootCauseStats analyze_root_causes(const AsGraph& g, routing::AsId d,
   routing::compute_routing_into(
       g, routing::Query{d, m, routing::SecurityModel::kInsecure}, {}, ws,
       ws.baseline);
-  const routing::RoutingOutcome& normal = ws.normal;
-  const routing::RoutingOutcome& attacked = ws.primary;
-  const routing::RoutingOutcome& baseline = ws.baseline;
 
+  PairOutcomes po;
+  po.g = &g;
+  po.d = d;
+  po.m = m;
+  po.dep = &dep;
+  po.normal = &ws.normal;
+  po.attacked = &ws.primary;
+  po.attacked_empty = &ws.baseline;
   RootCauseStats s;
-  for (routing::AsId v = 0; v < g.num_ases(); ++v) {
-    if (v == d || v == m) continue;
-    ++s.sources;
+  accumulate_into(po, s);
+  return s;
+}
+
+void accumulate_into(const PairOutcomes& po, RootCauseStats& acc) {
+  using routing::HappyStatus;
+  const routing::RoutingOutcome& normal = *po.normal;
+  const routing::RoutingOutcome& attacked = *po.attacked;
+  const routing::RoutingOutcome& baseline = *po.attacked_empty;
+  const Deployment& dep = *po.dep;
+  for (routing::AsId v = 0; v < po.g->num_ases(); ++v) {
+    if (v == po.d || v == po.m) continue;
+    ++acc.sources;
     const bool happy0 = baseline.happy(v) == HappyStatus::kHappy;
     const bool happy1 = attacked.happy(v) == HappyStatus::kHappy;
-    if (happy0) ++s.happy_baseline;
-    if (happy1) ++s.happy_deployed;
+    if (happy0) ++acc.happy_baseline;
+    if (happy1) ++acc.happy_deployed;
 
     if (normal.secure_route(v)) {
-      ++s.secure_normal;
+      ++acc.secure_normal;
       if (!attacked.secure_route(v)) {
-        ++s.downgraded;
+        ++acc.downgraded;
       } else if (happy0) {
-        ++s.secure_wasted;
+        ++acc.secure_wasted;
       } else {
-        ++s.secure_protecting;
+        ++acc.secure_protecting;
       }
     }
     const bool outside =
@@ -55,13 +70,12 @@ RootCauseStats analyze_root_causes(const AsGraph& g, routing::AsId d,
       const auto b = baseline.happy(v);
       const auto a = attacked.happy(v);
       if (b == HappyStatus::kUnhappy && a == HappyStatus::kHappy) {
-        ++s.collateral_benefits;
+        ++acc.collateral_benefits;
       } else if (b == HappyStatus::kHappy && a == HappyStatus::kUnhappy) {
-        ++s.collateral_damages;
+        ++acc.collateral_damages;
       }
     }
   }
-  return s;
 }
 
 }  // namespace sbgp::security

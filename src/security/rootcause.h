@@ -17,6 +17,7 @@
 
 #include "routing/engine.h"
 #include "routing/model.h"
+#include "security/pair_outcomes.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::security {
@@ -74,6 +75,10 @@ struct RootCauseStats {
                                                  routing::SecurityModel model,
                                                  const Deployment& dep,
                                                  routing::EngineWorkspace& ws);
+
+/// Fused-pipeline entry point: buckets every source using po.normal,
+/// po.attacked and po.attacked_empty, adding the counts to `acc`.
+void accumulate_into(const PairOutcomes& po, RootCauseStats& acc);
 
 }  // namespace sbgp::security
 

@@ -32,9 +32,14 @@
 #include <vector>
 
 #include "routing/workspace.h"
-#include "sim/parallel.h"
 
 namespace sbgp::sim {
+
+/// Number of worker threads to use by default.
+[[nodiscard]] inline std::size_t default_threads() {
+  const auto hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
 
 class BatchExecutor {
  public:

@@ -1,0 +1,82 @@
+// Declarative experiment suite over the fused pair-analysis pipeline.
+//
+// A Table-3- or Figure-16-style study is a cross product: scenario x
+// rollout step x security model x LP policy x analysis set, evaluated over
+// sampled (attacker, destination) pairs. An ExperimentSpec names one cell
+// of that product; run_experiment_suite sweeps a list of specs on the
+// BatchExecutor and returns labeled PairStats rows, computing every routing
+// outcome once per pair regardless of how many analyses a spec selects.
+// Scenarios are referenced by registry name (deployment/scenario.h), so a
+// whole suite is data the caller can build programmatically or hard-code.
+#ifndef SBGP_SIM_EXPERIMENT_H
+#define SBGP_SIM_EXPERIMENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deployment/scenario.h"
+#include "routing/model.h"
+#include "sim/pair_analysis.h"
+#include "topology/as_graph.h"
+#include "topology/tier.h"
+
+namespace sbgp::sim {
+
+/// Selects the last step of a scenario's rollout.
+inline constexpr std::size_t kLastRolloutStep = static_cast<std::size_t>(-1);
+
+/// One experiment: a deployment (scenario + rollout step), a policy model,
+/// an analysis selection, and the pair sample to evaluate on.
+struct ExperimentSpec {
+  /// Row label; composed from the fields below when empty.
+  std::string label;
+
+  // --- deployment -------------------------------------------------------
+  std::string scenario = "t1-t2";  // deployment::scenario_registry() name
+  std::size_t rollout_step = kLastRolloutStep;
+  deployment::StubMode stub_mode = deployment::StubMode::kFullSbgp;
+
+  // --- policy / analyses ------------------------------------------------
+  SecurityModel model = SecurityModel::kSecurityThird;
+  LocalPrefPolicy lp = LocalPrefPolicy::standard();
+  AnalysisSet analyses;
+  bool hysteresis = false;  // Section 8 sticky-route variant
+
+  // --- pair sample ------------------------------------------------------
+  // Explicit sets win when non-empty; otherwise `num_attackers` non-stub
+  // ASes and `num_destinations` arbitrary ASes are sampled with
+  // `sample_seed` (and sample_seed + 1), mirroring the benches.
+  std::vector<AsId> attackers;
+  std::vector<AsId> destinations;
+  std::size_t num_attackers = 40;
+  std::size_t num_destinations = 40;
+  std::uint64_t sample_seed = 4242;
+};
+
+/// One result row of a suite run.
+struct ExperimentRow {
+  std::string label;       // spec label (or the composed default)
+  std::string step_label;  // rollout step label, e.g. "T1+37xT2+stubs"
+  SecurityModel model = SecurityModel::kInsecure;
+  bool hysteresis = false;
+  std::size_t num_non_stub_secure = 0;  // the x-axis of Figures 7/8/11
+  std::size_t total_secure = 0;         // |S| including stubs and simplex
+  std::size_t num_attackers = 0;
+  std::size_t num_destinations = 0;
+  PairStats stats;
+};
+
+/// Runs every spec over the fused pipeline. Rollouts are built once per
+/// (scenario, stub mode) and reused across specs; rows come back in spec
+/// order and are bit-for-bit independent of the thread count. Throws
+/// std::invalid_argument on unknown scenario names, out-of-range rollout
+/// steps, or empty analysis sets.
+[[nodiscard]] std::vector<ExperimentRow> run_experiment_suite(
+    const AsGraph& g, const topology::TierInfo& tiers,
+    const std::vector<ExperimentSpec>& specs, const RunnerOptions& opts = {});
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_EXPERIMENT_H

@@ -1,0 +1,197 @@
+#include "sim/pair_analysis.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "routing/workspace.h"
+#include "security/pair_outcomes.h"
+#include "sim/batch_executor.h"
+
+namespace sbgp::sim {
+
+namespace {
+
+// Which outcome slots each analysis reads (see security/pair_outcomes.h).
+constexpr AnalysisSet kNeedsAttacked =
+    Analysis::kHappiness | Analysis::kDowngrades | Analysis::kCollateral |
+    Analysis::kRootCause;
+constexpr AnalysisSet kNeedsNormal =
+    Analysis::kDowngrades | Analysis::kRootCause;
+constexpr AnalysisSet kNeedsAttackedEmpty =
+    Analysis::kCollateral | Analysis::kRootCause;
+
+}  // namespace
+
+std::vector<AttackPair> make_attack_pairs(
+    const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations) {
+  if (attackers.empty() || destinations.empty()) {
+    throw std::invalid_argument(
+        "make_attack_pairs: empty attacker/destination set");
+  }
+  std::vector<AttackPair> pairs;
+  pairs.reserve(attackers.size() * destinations.size());
+  for (const AsId m : attackers) {
+    for (std::size_t di = 0; di < destinations.size(); ++di) {
+      if (m != destinations[di]) pairs.push_back({m, destinations[di], di});
+    }
+  }
+  if (pairs.empty()) {
+    throw std::invalid_argument(
+        "make_attack_pairs: every attacker equals every destination");
+  }
+  return pairs;
+}
+
+void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
+                          const PairAnalysisConfig& cfg, const Deployment& dep,
+                          routing::EngineWorkspace& ws, PairStats& acc) {
+  if (cfg.analyses.empty()) {
+    throw std::invalid_argument("accumulate_pair_into: empty analysis set");
+  }
+  if (d == m) {
+    throw std::invalid_argument(
+        "accumulate_pair_into: attacker == destination");
+  }
+  ++acc.pairs;
+
+  security::PairOutcomes po;
+  po.g = &g;
+  po.d = d;
+  po.m = m;
+  po.dep = &dep;
+
+  if (cfg.analyses.intersects(kNeedsAttacked)) {
+    const routing::Query q{d, m, cfg.model};
+    if (cfg.hysteresis) {
+      // The hysteresis engine computes the pre-attack state as its first
+      // step (into ws.normal), so `normal` comes for free here.
+      routing::compute_routing_with_hysteresis_into(g, q, dep, ws, ws.primary);
+      po.normal = &ws.normal;
+    } else {
+      routing::compute_routing_into(g, q, dep, ws, ws.primary);
+    }
+    po.attacked = &ws.primary;
+  }
+  if (cfg.analyses.intersects(kNeedsNormal) && po.normal == nullptr) {
+    routing::compute_routing_into(g, {d, routing::kNoAs, cfg.model}, dep, ws,
+                                  ws.normal);
+    po.normal = &ws.normal;
+  }
+  // The partition state owns ws.baseline (or the reach buffers for
+  // security 1st), which no other outcome above touches, so it can coexist
+  // with all of them.
+  const bool wants_partitions = cfg.analyses.contains(Analysis::kPartitions);
+  const bool wants_downgrades = cfg.analyses.contains(Analysis::kDowngrades);
+  const bool lp_standard = cfg.lp.kind == LocalPrefPolicy::Kind::kStandard;
+  std::optional<security::PartitionContext> partition;
+  if (wants_partitions) {
+    partition.emplace(g, d, m, cfg.model, cfg.lp, ws);
+    po.partition = &*partition;
+    security::accumulate_into(po, acc.partitions);
+  }
+  if (wants_downgrades && (!partition || !lp_standard)) {
+    // The downgrade immunity check always uses the standard LP ladder
+    // (matching analyze_downgrades); rebuild only if the partition
+    // analysis ran with a different ladder.
+    partition.emplace(g, d, m, cfg.model, LocalPrefPolicy::standard(), ws);
+  }
+
+  if (cfg.analyses.intersects(kNeedsAttackedEmpty)) {
+    if (partition && (wants_downgrades || lp_standard) &&
+        cfg.model != SecurityModel::kSecurityFirst) {
+      // The standard-LP partition state for security 2nd/3rd already
+      // computed the S = emptyset attacked stable state into ws.baseline,
+      // and routing_equivalence_test asserts it matches the main engine's
+      // bit for bit — no extra engine run needed.
+      po.attacked_empty = &ws.baseline;
+    } else {
+      routing::compute_routing_into(g, {d, m, SecurityModel::kInsecure}, {},
+                                    ws, ws.attacked_empty);
+      po.attacked_empty = &ws.attacked_empty;
+    }
+  }
+
+  if (cfg.analyses.contains(Analysis::kHappiness)) {
+    security::accumulate_into(po, acc.happiness);
+  }
+  if (wants_downgrades) {
+    po.partition = &*partition;
+    security::accumulate_into(po, acc.downgrades);
+  }
+  if (cfg.analyses.contains(Analysis::kCollateral)) {
+    security::accumulate_into(po, acc.collateral);
+  }
+  if (cfg.analyses.contains(Analysis::kRootCause)) {
+    security::accumulate_into(po, acc.root_causes);
+  }
+}
+
+namespace {
+
+/// Shared batch driver: runs `per_pair(ws, pair, acc)` over every valid
+/// pair on the options' executor with one accumulator per worker, then
+/// folds the per-worker partials in worker order. All PairStats counters
+/// are integers, so the fold is exact and thread-count-independent.
+template <typename Acc, typename PerPair>
+Acc accumulate_over_pairs(const std::vector<AsId>& attackers,
+                          const std::vector<AsId>& destinations,
+                          const RunnerOptions& opts, const Acc& init,
+                          PerPair per_pair) {
+  const auto pairs = make_attack_pairs(attackers, destinations);
+  BatchExecutor& exec =
+      opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
+  const std::size_t workers = exec.effective_workers(opts.threads);
+  std::vector<Acc> accs(workers, init);
+  exec.run(
+      pairs.size(),
+      [&](std::size_t worker, std::size_t i) {
+        per_pair(exec.workspace(worker), pairs[i], accs[worker]);
+      },
+      workers);
+  Acc total = init;
+  for (auto& a : accs) total += a;
+  return total;
+}
+
+struct PerDestStats {
+  std::vector<PairStats> per_dest;
+
+  PerDestStats& operator+=(const PerDestStats& o) {
+    for (std::size_t i = 0; i < per_dest.size(); ++i) {
+      per_dest[i] += o.per_dest[i];
+    }
+    return *this;
+  }
+};
+
+}  // namespace
+
+PairStats analyze_pairs(const AsGraph& g, const std::vector<AsId>& attackers,
+                        const std::vector<AsId>& destinations,
+                        const PairAnalysisConfig& cfg, const Deployment& dep,
+                        const RunnerOptions& opts) {
+  return accumulate_over_pairs<PairStats>(
+      attackers, destinations, opts, {},
+      [&](routing::EngineWorkspace& ws, const AttackPair& p, PairStats& acc) {
+        accumulate_pair_into(g, p.destination, p.attacker, cfg, dep, ws, acc);
+      });
+}
+
+std::vector<PairStats> analyze_pairs_per_destination(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, const PairAnalysisConfig& cfg,
+    const Deployment& dep, const RunnerOptions& opts) {
+  PerDestStats init;
+  init.per_dest.resize(destinations.size());
+  auto total = accumulate_over_pairs<PerDestStats>(
+      attackers, destinations, opts, init,
+      [&](routing::EngineWorkspace& ws, const AttackPair& p,
+          PerDestStats& acc) {
+        accumulate_pair_into(g, p.destination, p.attacker, cfg, dep, ws,
+                             acc.per_dest[p.dest_index]);
+      });
+  return std::move(total.per_dest);
+}
+
+}  // namespace sbgp::sim

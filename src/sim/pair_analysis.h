@@ -1,0 +1,189 @@
+// Fused per-pair analysis pipeline.
+//
+// The paper's evaluation derives many statistics — happiness bounds
+// (Figures 4-12), partition shares (Figures 3, 6), protocol downgrades
+// (Figure 13), collateral flips and root causes (Table 3, Figure 16) —
+// from the *same* stable routing outcomes of each (attacker, destination,
+// deployment, model) instance. Running each analysis standalone pays for
+// the routing engine up to four times per pair; the fused pipeline computes
+// every needed outcome exactly once per pair (into a worker's
+// EngineWorkspace slots) and feeds all selected analyses from it via their
+// security::accumulate_into entry points.
+//
+// Engine computations per pair, fused vs. standalone, all five analyses:
+//   standalone  happiness 1 + partitions 1 + downgrades 3 + collateral 2
+//               + root causes 3 = 10
+//   fused       attacked + normal + partition state = 3 (the standard-LP
+//               partition state for security 2nd/3rd doubles as the
+//               S = emptyset attacked outcome; 4 otherwise)
+//
+// Determinism contract: PairStats is all integers, so per-worker partials
+// merge to bit-for-bit identical totals for any thread count (see
+// BatchExecutor).
+#ifndef SBGP_SIM_PAIR_ANALYSIS_H
+#define SBGP_SIM_PAIR_ANALYSIS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "routing/model.h"
+#include "security/collateral.h"
+#include "security/downgrade.h"
+#include "security/happiness.h"
+#include "security/partition.h"
+#include "security/rootcause.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::routing {
+class EngineWorkspace;
+}  // namespace sbgp::routing
+
+namespace sbgp::sim {
+
+using routing::AsId;
+using routing::Deployment;
+using routing::LocalPrefPolicy;
+using routing::SecurityModel;
+using topology::AsGraph;
+
+class BatchExecutor;
+
+/// One per-pair analysis of the paper's evaluation.
+enum class Analysis : std::uint8_t {
+  kHappiness = 1u << 0,   // happy-source bounds (Section 4.1)
+  kPartitions = 1u << 1,  // doomed/protectable/immune (Sections 4.3-4.4)
+  kDowngrades = 1u << 2,  // protocol downgrades (Section 5.3.1)
+  kCollateral = 1u << 3,  // collateral benefits/damages (Section 6.1)
+  kRootCause = 1u << 4,   // root-cause decomposition (Section 6.2)
+};
+
+/// Bitmask of analyses to fuse over one routing computation per pair.
+class AnalysisSet {
+ public:
+  constexpr AnalysisSet() = default;
+  constexpr AnalysisSet(Analysis a)  // NOLINT: implicit by design
+      : bits_(static_cast<std::uint8_t>(a)) {}
+
+  [[nodiscard]] static constexpr AnalysisSet all() {
+    return AnalysisSet(Analysis::kHappiness) | Analysis::kPartitions |
+           Analysis::kDowngrades | Analysis::kCollateral | Analysis::kRootCause;
+  }
+
+  [[nodiscard]] constexpr bool contains(Analysis a) const {
+    return (bits_ & static_cast<std::uint8_t>(a)) != 0;
+  }
+  [[nodiscard]] constexpr bool intersects(AnalysisSet o) const {
+    return (bits_ & o.bits_) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+
+  [[nodiscard]] constexpr AnalysisSet operator|(AnalysisSet o) const {
+    AnalysisSet s;
+    s.bits_ = bits_ | o.bits_;
+    return s;
+  }
+  constexpr AnalysisSet& operator|=(AnalysisSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  [[nodiscard]] constexpr bool operator==(const AnalysisSet&) const = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+[[nodiscard]] constexpr AnalysisSet operator|(Analysis a, Analysis b) {
+  return AnalysisSet(a) | AnalysisSet(b);
+}
+
+/// What to compute for every pair. The deployment is passed separately so
+/// one config can sweep many deployments.
+struct PairAnalysisConfig {
+  AnalysisSet analyses;
+  SecurityModel model = SecurityModel::kSecurityThird;
+  /// LP ladder for the *partition* analysis only (Appendix K); the routing
+  /// engine and the downgrade immunity check always use the standard
+  /// ladder, matching the standalone analyses.
+  LocalPrefPolicy lp = LocalPrefPolicy::standard();
+  /// Section 8 extension: compute the under-attack outcome with sticky
+  /// secure routes (compute_routing_with_hysteresis).
+  bool hysteresis = false;
+};
+
+/// Accumulated statistics of every analysis over a set of pairs. Only the
+/// members of the selected analyses are populated; all counters are exact
+/// integers, so merging per-worker partials is thread-count-independent.
+struct PairStats {
+  std::size_t pairs = 0;
+  security::HappyTotals happiness;
+  security::PartitionCounts partitions;
+  security::DowngradeStats downgrades;
+  security::CollateralStats collateral;
+  security::RootCauseStats root_causes;
+
+  PairStats& operator+=(const PairStats& o) {
+    pairs += o.pairs;
+    happiness += o.happiness;
+    partitions += o.partitions;
+    downgrades += o.downgrades;
+    collateral += o.collateral;
+    root_causes += o.root_causes;
+    return *this;
+  }
+};
+
+/// One (attacker, destination) instance of a pair sweep.
+struct AttackPair {
+  AsId attacker;
+  AsId destination;
+  std::size_t dest_index;  // index of the destination in the sampled set
+};
+
+/// Flattens attackers x destinations into the pair list every runner and
+/// the experiment suite sweep, skipping attacker == destination instances
+/// (an AS cannot hijack its own prefix). Throws std::invalid_argument if
+/// either set is empty or no valid pair remains.
+[[nodiscard]] std::vector<AttackPair> make_attack_pairs(
+    const std::vector<AsId>& attackers, const std::vector<AsId>& destinations);
+
+/// Runs every selected analysis for the single pair (m on d), computing
+/// each required routing outcome exactly once into `ws`, and adds the
+/// results to `acc`. Requires d != m and a non-empty analysis set (throws
+/// std::invalid_argument otherwise; partition/downgrade analyses also
+/// reject SecurityModel::kInsecure, matching PartitionContext).
+void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
+                          const PairAnalysisConfig& cfg, const Deployment& dep,
+                          routing::EngineWorkspace& ws, PairStats& acc);
+
+/// Worker cap / executor choice for a batch call (shared by the runners,
+/// the fused pipeline and the experiment suite).
+struct RunnerOptions {
+  /// Worker cap for this call: 0 = every worker of the executor. (Results
+  /// are bit-for-bit independent of this value — batch calls accumulate
+  /// per-worker integer partials and merge them deterministically.)
+  std::size_t threads = 0;
+  /// Executor to run on; nullptr = the process-wide BatchExecutor::shared().
+  /// Workers and their routing workspaces persist across calls.
+  BatchExecutor* executor = nullptr;
+};
+
+/// Fused sweep over attackers x destinations on a BatchExecutor: one
+/// routing computation set per pair feeding every selected analysis.
+[[nodiscard]] PairStats analyze_pairs(const AsGraph& g,
+                                      const std::vector<AsId>& attackers,
+                                      const std::vector<AsId>& destinations,
+                                      const PairAnalysisConfig& cfg,
+                                      const Deployment& dep,
+                                      const RunnerOptions& opts = {});
+
+/// Same sweep, but keeping one PairStats per destination (averaged over
+/// the attackers only) — the per-destination quantities of Figures 9-13.
+[[nodiscard]] std::vector<PairStats> analyze_pairs_per_destination(
+    const AsGraph& g, const std::vector<AsId>& attackers,
+    const std::vector<AsId>& destinations, const PairAnalysisConfig& cfg,
+    const Deployment& dep, const RunnerOptions& opts = {});
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_PAIR_ANALYSIS_H

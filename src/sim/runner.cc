@@ -1,84 +1,10 @@
 #include "sim/runner.h"
 
 #include <algorithm>
-#include <array>
-#include <stdexcept>
 
-#include "routing/workspace.h"
-#include "sim/batch_executor.h"
 #include "util/rng.h"
 
 namespace sbgp::sim {
-
-namespace {
-
-struct Pair {
-  AsId m;
-  AsId d;
-  std::size_t dest_index;  // index of d in the destination sample
-};
-
-/// Flattens (attacker, destination) pairs, skipping m == d.
-std::vector<Pair> flatten_pairs(const std::vector<AsId>& attackers,
-                                const std::vector<AsId>& destinations) {
-  if (attackers.empty() || destinations.empty()) {
-    throw std::invalid_argument(
-        "flatten_pairs: empty attacker/destination set");
-  }
-  std::vector<Pair> pairs;
-  pairs.reserve(attackers.size() * destinations.size());
-  for (const AsId m : attackers) {
-    for (std::size_t di = 0; di < destinations.size(); ++di) {
-      if (m != destinations[di]) pairs.push_back({m, destinations[di], di});
-    }
-  }
-  return pairs;
-}
-
-/// Runs `per_pair(workspace, pair, accumulator)` over every valid pair on
-/// the options' executor and returns the per-worker accumulators. Each
-/// accumulator must merge associatively (integer sums) so that folding the
-/// returned vector in worker order is thread-count-independent.
-template <typename Acc, typename PerPair>
-std::vector<Acc> accumulate_pairs(const std::vector<AsId>& attackers,
-                                  const std::vector<AsId>& destinations,
-                                  const RunnerOptions& opts,
-                                  const Acc& init, PerPair per_pair) {
-  const auto pairs = flatten_pairs(attackers, destinations);
-  BatchExecutor& exec =
-      opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
-  const std::size_t workers = exec.effective_workers(opts.threads);
-  std::vector<Acc> accs(workers, init);
-  exec.run(
-      pairs.size(),
-      [&](std::size_t worker, std::size_t i) {
-        per_pair(exec.workspace(worker), pairs[i], accs[worker]);
-      },
-      workers);
-  return accs;
-}
-
-/// Integer form of the happiness metric: exact partial sums per worker.
-struct HappyAcc {
-  std::size_t lower = 0;
-  std::size_t upper = 0;
-  std::size_t sources = 0;
-
-  HappyAcc& operator+=(const HappyAcc& o) {
-    lower += o.lower;
-    upper += o.upper;
-    sources += o.sources;
-    return *this;
-  }
-
-  [[nodiscard]] MetricBounds bounds() const {
-    if (sources == 0) return {};
-    return {static_cast<double>(lower) / static_cast<double>(sources),
-            static_cast<double>(upper) / static_cast<double>(sources)};
-  }
-};
-
-}  // namespace
 
 std::vector<AsId> sample_ases(const std::vector<AsId>& pool,
                               std::size_t max_count, std::uint64_t seed) {
@@ -115,41 +41,26 @@ MetricBounds estimate_metric(const AsGraph& g,
                              const RunnerOptions& opts) {
   // Every pair has the same source count (|V| - 2), so the mean of per-pair
   // happy fractions equals total happy counts over total sources — which
-  // the workers can accumulate exactly, in integers.
-  const auto accs = accumulate_pairs<HappyAcc>(
-      attackers, destinations, opts, {},
-      [&](routing::EngineWorkspace& ws, const Pair& p, HappyAcc& acc) {
-        const auto& out =
-            routing::compute_routing(g, {p.d, p.m, model}, dep, ws);
-        const auto c = security::count_happy(out, p.d, p.m);
-        acc.lower += c.happy_lower;
-        acc.upper += c.happy_upper;
-        acc.sources += c.sources;
-      });
-  HappyAcc total;
-  for (const auto& a : accs) total += a;
-  return total.bounds();
+  // the fused pipeline accumulates exactly, in integers.
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kHappiness;
+  cfg.model = model;
+  return analyze_pairs(g, attackers, destinations, cfg, dep, opts)
+      .happiness.bounds();
 }
 
 std::vector<MetricBounds> metric_per_destination(
     const AsGraph& g, const std::vector<AsId>& attackers,
     const std::vector<AsId>& destinations, SecurityModel model,
     const Deployment& dep, const RunnerOptions& opts) {
-  using PerDest = std::vector<HappyAcc>;
-  const auto accs = accumulate_pairs<PerDest>(
-      attackers, destinations, opts, PerDest(destinations.size()),
-      [&](routing::EngineWorkspace& ws, const Pair& p, PerDest& acc) {
-        const auto& o = routing::compute_routing(g, {p.d, p.m, model}, dep, ws);
-        const auto c = security::count_happy(o, p.d, p.m);
-        acc[p.dest_index].lower += c.happy_lower;
-        acc[p.dest_index].upper += c.happy_upper;
-        acc[p.dest_index].sources += c.sources;
-      });
-  std::vector<MetricBounds> out(destinations.size());
-  for (std::size_t di = 0; di < destinations.size(); ++di) {
-    HappyAcc total;
-    for (const auto& a : accs) total += a[di];
-    out[di] = total.bounds();
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kHappiness;
+  cfg.model = model;
+  const auto per_dest =
+      analyze_pairs_per_destination(g, attackers, destinations, cfg, dep, opts);
+  std::vector<MetricBounds> out(per_dest.size());
+  for (std::size_t di = 0; di < per_dest.size(); ++di) {
+    out[di] = per_dest[di].happiness.bounds();
   }
   return out;
 }
@@ -159,15 +70,15 @@ PartitionShares average_partitions(const AsGraph& g,
                                    const std::vector<AsId>& destinations,
                                    SecurityModel model, LocalPrefPolicy lp,
                                    const RunnerOptions& opts) {
-  const auto accs = accumulate_pairs<security::PartitionCounts>(
-      attackers, destinations, opts, {},
-      [&](routing::EngineWorkspace& ws, const Pair& p,
-          security::PartitionCounts& acc) {
-        acc += security::PartitionContext(g, p.d, p.m, model, lp, ws).counts();
-      });
-  security::PartitionCounts total;
-  for (const auto& a : accs) total += a;
-  return total.shares();
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kPartitions;
+  cfg.model = model;
+  cfg.lp = lp;
+  // Partitions are deployment-invariant; the empty deployment is a
+  // placeholder the analysis never reads.
+  return analyze_pairs(g, attackers, destinations, cfg,
+                       Deployment(g.num_ases()), opts)
+      .partitions.shares();
 }
 
 security::DowngradeStats total_downgrades(const AsGraph& g,
@@ -176,15 +87,10 @@ security::DowngradeStats total_downgrades(const AsGraph& g,
                                           SecurityModel model,
                                           const Deployment& dep,
                                           const RunnerOptions& opts) {
-  const auto accs = accumulate_pairs<security::DowngradeStats>(
-      attackers, destinations, opts, {},
-      [&](routing::EngineWorkspace& ws, const Pair& p,
-          security::DowngradeStats& acc) {
-        acc += security::analyze_downgrades(g, p.d, p.m, model, dep, ws);
-      });
-  security::DowngradeStats total;
-  for (const auto& a : accs) total += a;
-  return total;
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kDowngrades;
+  cfg.model = model;
+  return analyze_pairs(g, attackers, destinations, cfg, dep, opts).downgrades;
 }
 
 security::CollateralStats total_collateral(const AsGraph& g,
@@ -193,15 +99,10 @@ security::CollateralStats total_collateral(const AsGraph& g,
                                            SecurityModel model,
                                            const Deployment& dep,
                                            const RunnerOptions& opts) {
-  const auto accs = accumulate_pairs<security::CollateralStats>(
-      attackers, destinations, opts, {},
-      [&](routing::EngineWorkspace& ws, const Pair& p,
-          security::CollateralStats& acc) {
-        acc += security::analyze_collateral(g, p.d, p.m, model, dep, ws);
-      });
-  security::CollateralStats total;
-  for (const auto& a : accs) total += a;
-  return total;
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kCollateral;
+  cfg.model = model;
+  return analyze_pairs(g, attackers, destinations, cfg, dep, opts).collateral;
 }
 
 security::RootCauseStats total_root_causes(const AsGraph& g,
@@ -210,15 +111,10 @@ security::RootCauseStats total_root_causes(const AsGraph& g,
                                            SecurityModel model,
                                            const Deployment& dep,
                                            const RunnerOptions& opts) {
-  const auto accs = accumulate_pairs<security::RootCauseStats>(
-      attackers, destinations, opts, {},
-      [&](routing::EngineWorkspace& ws, const Pair& p,
-          security::RootCauseStats& acc) {
-        acc += security::analyze_root_causes(g, p.d, p.m, model, dep, ws);
-      });
-  security::RootCauseStats total;
-  for (const auto& a : accs) total += a;
-  return total;
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kRootCause;
+  cfg.model = model;
+  return analyze_pairs(g, attackers, destinations, cfg, dep, opts).root_causes;
 }
 
 }  // namespace sbgp::sim

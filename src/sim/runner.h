@@ -4,10 +4,14 @@
 // The paper evaluates over all |V|^2 pairs on a supercomputer; we sample
 // deterministically (seeded) from the chosen attacker set M and destination
 // set D — the metric is a mean over pairs, so a few thousand samples
-// estimate it tightly. Every runner executes on a sim::BatchExecutor
-// (persistent workers, reusable per-worker routing workspaces) and merges
-// per-worker integer partial sums, so results are bit-for-bit independent
-// of the thread count.
+// estimate it tightly. Every runner is a thin wrapper over the fused
+// pair-analysis pipeline (sim/pair_analysis.h) with a single analysis
+// selected: it executes on a sim::BatchExecutor (persistent workers,
+// reusable per-worker routing workspaces) and merges per-worker integer
+// partial sums, so results are bit-for-bit independent of the thread count.
+// Studies that need several statistics per pair should call analyze_pairs
+// or run_experiment_suite directly instead of several runners — the fused
+// pass computes each routing outcome once however many analyses are on.
 #ifndef SBGP_SIM_RUNNER_H
 #define SBGP_SIM_RUNNER_H
 
@@ -21,29 +25,13 @@
 #include "security/happiness.h"
 #include "security/partition.h"
 #include "security/rootcause.h"
+#include "sim/pair_analysis.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::sim {
 
-using routing::AsId;
-using routing::Deployment;
-using routing::LocalPrefPolicy;
-using routing::SecurityModel;
 using security::MetricBounds;
 using security::PartitionShares;
-using topology::AsGraph;
-
-class BatchExecutor;
-
-struct RunnerOptions {
-  /// Worker cap for this call: 0 = every worker of the executor. (Results
-  /// are bit-for-bit independent of this value — runners accumulate
-  /// per-worker integer partials and merge them deterministically.)
-  std::size_t threads = 0;
-  /// Executor to run on; nullptr = the process-wide BatchExecutor::shared().
-  /// Workers and their routing workspaces persist across runner calls.
-  BatchExecutor* executor = nullptr;
-};
 
 /// Deterministically samples up to `max_count` ASes from `pool` (the whole
 /// pool, shuffled, if it is smaller).

@@ -1,11 +1,9 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <numeric>
 
 #include "routing/engine.h"
 #include "security/happiness.h"
-#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "test_support.h"
 #include "topology/generator.h"
@@ -15,30 +13,6 @@ namespace {
 
 using routing::SecurityModel;
 using test::random_deployment;
-
-TEST(Parallel, CoversAllIndices) {
-  std::vector<std::atomic<int>> hits(1000);
-  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(Parallel, SingleThreadAndZeroCount) {
-  int count = 0;
-  parallel_for(0, [&](std::size_t) { ++count; }, 4);
-  EXPECT_EQ(count, 0);
-  parallel_for(5, [&](std::size_t) { ++count; }, 1);
-  EXPECT_EQ(count, 5);
-}
-
-TEST(Parallel, PropagatesExceptions) {
-  EXPECT_THROW(parallel_for(
-                   100,
-                   [&](std::size_t i) {
-                     if (i == 37) throw std::runtime_error("boom");
-                   },
-                   8),
-               std::runtime_error);
-}
 
 TEST(Sampling, DeterministicAndBounded) {
   std::vector<routing::AsId> pool(100);
