@@ -15,9 +15,12 @@
 #include "security/happiness.h"
 #include "security/partition.h"
 #include "sim/batch_executor.h"
+#include "sim/campaign.h"
+#include "sim/experiment.h"
 #include "sim/pair_analysis.h"
 #include "sim/runner.h"
 #include "topology/generator.h"
+#include "topology/registry.h"
 
 namespace {
 
@@ -222,6 +225,86 @@ void BM_AnalysesSeparate(benchmark::State& state) {
                                 dests.size()));
 }
 BENCHMARK(BM_AnalysesSeparate)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Campaign scheduling vs. the sequential per-spec loop ------------------
+//
+// A mixed-size multi-trial study: one heavy all-analyses spec next to
+// several light single-analysis specs, swept over freshly generated
+// topologies. The sequential path is what stacking run_experiment_suite
+// calls gives you: topology generation serializes between trials and every
+// spec is its own executor batch, so short specs wait at the barrier of
+// long ones and workers idle at every spec tail. run_campaign flattens all
+// (trial, spec, pair) work into one submission: topology generation for
+// trial t+1 overlaps pair analysis of trial t and spec boundaries vanish.
+// Compare items_per_second (pairs/sec) at equal args. Args: (threads).
+
+sim::CampaignSpec perf_campaign() {
+  sim::CampaignSpec campaign;
+  campaign.topology = "tiny-500";
+  campaign.trials = 3;
+  campaign.seed = 5;
+  sim::ExperimentSpec heavy;
+  heavy.scenario = "t1-t2";
+  heavy.model = routing::SecurityModel::kSecurityThird;
+  heavy.analyses = sim::AnalysisSet::all();
+  heavy.num_attackers = 12;
+  heavy.num_destinations = 12;
+  campaign.experiments.push_back(heavy);
+  const char* light_scenarios[] = {"t1-stubs", "t2-only", "top13-t2-stubs",
+                                   "nonstub"};
+  for (const char* scenario : light_scenarios) {
+    sim::ExperimentSpec light;
+    light.scenario = scenario;
+    light.model = routing::SecurityModel::kSecuritySecond;
+    light.analyses = sim::Analysis::kHappiness;
+    light.num_attackers = 4;
+    light.num_destinations = 4;
+    campaign.experiments.push_back(light);
+  }
+  return campaign;
+}
+
+std::int64_t campaign_pairs(const sim::CampaignSpec& c) {
+  std::size_t pairs = 0;
+  for (const auto& spec : c.experiments) {
+    pairs += spec.num_attackers * spec.num_destinations;
+  }
+  return static_cast<std::int64_t>(pairs * c.trials);
+}
+
+void BM_Campaign(benchmark::State& state) {
+  const auto campaign = perf_campaign();
+  sim::BatchExecutor executor(static_cast<std::size_t>(state.range(0)));
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(campaign, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          campaign_pairs(campaign));
+}
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_SuiteSequential(benchmark::State& state) {
+  const auto campaign = perf_campaign();
+  sim::BatchExecutor executor(static_cast<std::size_t>(state.range(0)));
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < campaign.trials; ++t) {
+      const auto topo =
+          topology::generate_trial(campaign.topology, campaign.seed, t);
+      const auto tiers = topo.classify();
+      benchmark::DoNotOptimize(sim::run_experiment_suite(
+          topo.graph, tiers, campaign.experiments, opts));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          campaign_pairs(campaign));
+}
+BENCHMARK(BM_SuiteSequential)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 // Repeated *small* runner calls — the deployment-rollout access pattern

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/table.h"
+
 namespace sbgp::bench {
 
 BenchContext make_context(int argc, char** argv, std::uint32_t default_n,
@@ -15,16 +17,8 @@ BenchContext make_context(int argc, char** argv, std::uint32_t default_n,
         static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10));
   }
 
-  topology::GeneratorParams params;
-  params.num_ases = n;
+  topology::GeneratorParams params = topology::scaled_params(n);
   params.seed = kGraphSeed;
-  if (n < 3000) {
-    // Keep the designated tiers proportionate on small graphs.
-    params.num_tier1 = std::max<std::uint32_t>(5, n / 250);
-    params.num_tier2 = std::max<std::uint32_t>(10, n / 40);
-    params.num_tier3 = std::max<std::uint32_t>(10, n / 40);
-    params.num_content_providers = std::max<std::uint32_t>(3, n / 200);
-  }
   ctx.topo = topology::generate_internet(params);
   ctx.tiers = ctx.topo.classify();
   ctx.attackers = sim::sample_ases(sim::non_stub_ases(ctx.graph()), ctx.sample,
@@ -78,6 +72,57 @@ sim::ExperimentSpec base_spec(const BenchContext& ctx) {
 std::vector<sim::ExperimentRow> run_suite(
     const BenchContext& ctx, const std::vector<sim::ExperimentSpec>& specs) {
   return sim::run_experiment_suite(ctx.graph(), ctx.tiers, specs);
+}
+
+CampaignArgs parse_campaign_args(int argc, char** argv,
+                                 std::uint32_t default_n,
+                                 std::size_t default_sample) {
+  CampaignArgs args;
+  args.num_ases = default_n;
+  args.sample = default_sample;
+  if (argc > 1) {
+    args.num_ases =
+        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    args.sample = static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+  if (argc > 3) {
+    args.trials = std::max<std::size_t>(1, std::strtoul(argv[3], nullptr, 10));
+  }
+  return args;
+}
+
+sim::CampaignSpec base_campaign(const CampaignArgs& args) {
+  sim::CampaignSpec campaign;
+  campaign.topology =
+      std::string(topology::nearest_topology(args.num_ases).name);
+  campaign.trials = args.trials;
+  campaign.seed = kGraphSeed;
+  return campaign;
+}
+
+void print_campaign_banner(const sim::CampaignSpec& campaign,
+                           std::size_t sample, const std::string& experiment,
+                           const std::string& paper_claim) {
+  std::cout << "==================================================================\n"
+            << experiment << '\n'
+            << "campaign: topology " << campaign.topology << " x "
+            << campaign.trials << " trials (per-trial seeds via SplitMix)\n"
+            << "samples: " << sample << " attackers (non-stub) x " << sample
+            << " destinations per trial\n"
+            << "paper: " << paper_claim << '\n'
+            << "==================================================================\n";
+}
+
+std::string fmt_mean_stderr(const sim::MetricSummary& m, int digits) {
+  return util::fixed(m.mean, digits) + " ±" +
+         util::fixed(m.std_error, digits);
+}
+
+std::string fmt_mean_stderr(const util::Accumulator& acc, int digits) {
+  return util::fixed(acc.mean(), digits) + " ±" +
+         util::fixed(acc.std_error(), digits);
 }
 
 }  // namespace sbgp::bench

@@ -8,6 +8,7 @@
 // All benches accept optional positional arguments:
 //   argv[1]  number of ASes        (default 8000)
 //   argv[2]  sample size per side  (default 40 attackers x 40 destinations)
+//   argv[3]  campaign trials       (default 2; used by campaign-based benches)
 #ifndef SBGP_BENCH_SUPPORT_H
 #define SBGP_BENCH_SUPPORT_H
 
@@ -19,11 +20,14 @@
 #include "deployment/scenario.h"
 #include "routing/model.h"
 #include "security/partition.h"
+#include "sim/campaign.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
 #include "topology/generator.h"
 #include "topology/ixp.h"
+#include "topology/registry.h"
 #include "topology/tier.h"
+#include "util/stats.h"
 
 namespace sbgp::bench {
 
@@ -72,6 +76,34 @@ void print_banner(const BenchContext& ctx, const std::string& experiment,
 /// Runs a suite on the context's graph and tiers.
 [[nodiscard]] std::vector<sim::ExperimentRow> run_suite(
     const BenchContext& ctx, const std::vector<sim::ExperimentSpec>& specs);
+
+/// Positional args of the campaign-based benches. Unlike BenchContext,
+/// parsing these generates nothing: campaigns build their own per-trial
+/// topologies, so there is no context graph to pay for.
+struct CampaignArgs {
+  std::uint32_t num_ases = 8000;  // mapped onto the nearest registry entry
+  std::size_t sample = 40;
+  std::size_t trials = 2;
+};
+[[nodiscard]] CampaignArgs parse_campaign_args(int argc, char** argv,
+                                               std::uint32_t default_n = 8000,
+                                               std::size_t default_sample = 40);
+
+/// Campaign shell over the registry topology closest to args.num_ases,
+/// with args.trials trials; callers fill `experiments`.
+[[nodiscard]] sim::CampaignSpec base_campaign(const CampaignArgs& args);
+
+/// Banner for campaign benches: experiment id, topology x trials, samples.
+void print_campaign_banner(const sim::CampaignSpec& campaign,
+                           std::size_t sample, const std::string& experiment,
+                           const std::string& paper_claim);
+
+/// "0.613 ±0.004": a metric summary as mean ± standard error across trials.
+[[nodiscard]] std::string fmt_mean_stderr(const sim::MetricSummary& m,
+                                          int digits = 3);
+/// The same format from a raw accumulator.
+[[nodiscard]] std::string fmt_mean_stderr(const util::Accumulator& acc,
+                                          int digits = 3);
 
 }  // namespace sbgp::bench
 

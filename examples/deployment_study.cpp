@@ -1,40 +1,32 @@
 // A configurable partial-deployment study: who should adopt S*BGP first?
 //
-// Compares the candidate early-adopter sets of Section 5 on a synthetic
-// Internet whose size you choose, and prints the paper-style verdict.
-// Expressed as a declarative experiment suite: each candidate is a named
-// scenario from deployment::scenario_registry(), each row one
-// ExperimentSpec, evaluated in a single fused pass per spec.
+// Compares the candidate early-adopter sets of Section 5 across several
+// freshly generated synthetic Internets and prints the paper-style verdict
+// with its cross-trial spread. Expressed as a declarative campaign: each
+// candidate is a named scenario from deployment::scenario_registry(), the
+// topology is a named entry of topology::topology_registry(), and every
+// trial regenerates the graph from a SplitMix-derived seed — so the whole
+// study is data, and any single trial is reproducible in isolation.
 //
-//   ./deployment_study [num_ases] [samples]
+//   ./example_deployment_study [topology] [trials] [samples]
 #include <cstdlib>
 #include <iostream>
 
-#include "deployment/scenario.h"
-#include "sim/experiment.h"
-#include "topology/generator.h"
+#include "sim/campaign.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace sbgp;
-  std::uint32_t n = 4000;
+  sim::CampaignSpec campaign;
+  campaign.label = "deployment-study";
+  campaign.topology = "small-2k";
+  campaign.trials = 3;
+  campaign.seed = 1;
   std::size_t samples = 24;
-  if (argc > 1) n = static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
-  if (argc > 2) samples = std::strtoul(argv[2], nullptr, 10);
-
-  topology::GeneratorParams params;
-  params.num_ases = n;
-  if (n < 3000) {
-    params.num_tier1 = std::max<std::uint32_t>(5, n / 250);
-    params.num_tier2 = std::max<std::uint32_t>(10, n / 40);
-    params.num_tier3 = std::max<std::uint32_t>(10, n / 40);
-    params.num_content_providers = std::max<std::uint32_t>(3, n / 200);
-  }
-  const auto topo = topology::generate_internet(params);
-  const auto tiers = topo.classify();
-  std::cout << "synthetic Internet: " << n << " ASes; evaluating candidate "
-            << "early-adopter sets with " << samples << "x" << samples
-            << " sampled attacks\n\n";
+  if (argc > 1) campaign.topology = argv[1];
+  if (argc > 2) campaign.trials = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) samples = std::strtoul(argv[3], nullptr, 10);
 
   const auto spec_for = [&](const std::string& scenario,
                             routing::SecurityModel model) {
@@ -48,8 +40,8 @@ int main(int argc, char** argv) {
     return spec;
   };
 
-  std::vector<sim::ExperimentSpec> specs;
-  specs.push_back(spec_for("empty", routing::SecurityModel::kInsecure));
+  campaign.experiments.push_back(
+      spec_for("empty", routing::SecurityModel::kInsecure));
   const struct {
     const char* scenario;
     const char* name;
@@ -63,18 +55,33 @@ int main(int argc, char** argv) {
     for (const auto model : routing::kAllSecurityModels) {
       auto spec = spec_for(c.scenario, model);
       spec.label = c.name;
-      specs.push_back(std::move(spec));
+      campaign.experiments.push_back(std::move(spec));
     }
   }
-  const auto rows = sim::run_experiment_suite(topo.graph, tiers, specs);
+  const auto result = sim::run_campaign(campaign);
+  std::cout << "campaign: topology " << result.topology << " x "
+            << campaign.trials << " trials; evaluating candidate "
+            << "early-adopter sets with " << samples << "x" << samples
+            << " sampled attacks per trial\n\n";
 
-  const double baseline = rows.front().stats.happiness.bounds().lower;
-  util::Table table({"deployment", "|S|", "model", "gain over origin auth"});
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    table.add_row({row.label, std::to_string(row.total_secure),
-                   std::string(to_string(row.model)),
-                   util::pct(row.stats.happiness.bounds().lower - baseline)});
+  // Gain over origin authentication, computed per trial against that
+  // trial's own insecure baseline (spec 0), then summarized across trials.
+  const std::size_t num_specs = campaign.experiments.size();
+  util::Table table(
+      {"deployment", "model", "gain over origin auth (mean ±stderr)"});
+  for (std::size_t s = 1; s < num_specs; ++s) {
+    util::Accumulator gain;
+    for (std::size_t t = 0; t < campaign.trials; ++t) {
+      const auto& base =
+          result.trial_rows[t * num_specs].row.stats.happiness;
+      const auto& row =
+          result.trial_rows[t * num_specs + s].row.stats.happiness;
+      gain.add(row.bounds().lower - base.bounds().lower);
+    }
+    const auto& spec = campaign.experiments[s];
+    table.add_row({spec.label, std::string(to_string(spec.model)),
+                   util::pct(gain.mean()) + " ±" +
+                       util::pct(gain.std_error())});
   }
   table.print(std::cout);
   std::cout << "\npaper guidelines reproduced: prefer Tier 2 early adopters;"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/strings.h"
+
 namespace sbgp::deployment {
 
 namespace {
@@ -188,12 +190,18 @@ const ScenarioDef* find_scenario(std::string_view name) {
   return nullptr;
 }
 
+std::string scenario_names() {
+  return util::comma_join(registry(),
+                          [](const ScenarioDef& def) { return def.name; });
+}
+
 std::vector<RolloutStep> build_scenario(std::string_view name, const AsGraph& g,
                                         const TierInfo& tiers, StubMode mode) {
   const ScenarioDef* def = find_scenario(name);
   if (def == nullptr) {
     throw std::invalid_argument("build_scenario: unknown scenario '" +
-                                std::string(name) + "'");
+                                std::string(name) +
+                                "'; available: " + scenario_names());
   }
   return def->build(g, tiers, mode);
 }

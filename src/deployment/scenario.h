@@ -108,6 +108,10 @@ struct ScenarioDef {
 /// Looks up a scenario by name; nullptr if unknown.
 [[nodiscard]] const ScenarioDef* find_scenario(std::string_view name);
 
+/// Comma-separated list of every registered scenario name — what
+/// unknown-name errors print so the caller can see what exists.
+[[nodiscard]] std::string scenario_names();
+
 /// Builds a named scenario's rollout steps. Throws std::invalid_argument
 /// for unknown names.
 [[nodiscard]] std::vector<RolloutStep> build_scenario(std::string_view name,

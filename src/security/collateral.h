@@ -44,6 +44,7 @@ struct CollateralStats {
     damages_upper += o.damages_upper;
     return *this;
   }
+  [[nodiscard]] bool operator==(const CollateralStats&) const = default;
 };
 
 /// Compares a baseline outcome (computed with S = emptyset) against the

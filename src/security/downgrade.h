@@ -40,6 +40,7 @@ struct DowngradeStats {
     kept_and_immune += o.kept_and_immune;
     return *this;
   }
+  [[nodiscard]] bool operator==(const DowngradeStats&) const = default;
 };
 
 /// Computes downgrade statistics for attack (m on d) under deployment `dep`

@@ -59,6 +59,7 @@ struct HappyTotals {
     sources += o.sources;
     return *this;
   }
+  [[nodiscard]] bool operator==(const HappyTotals&) const = default;
 
   [[nodiscard]] struct MetricBounds bounds() const;
 };

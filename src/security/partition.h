@@ -98,6 +98,7 @@ struct PartitionCounts {
     sources += o.sources;
     return *this;
   }
+  [[nodiscard]] bool operator==(const PartitionCounts&) const = default;
 
   [[nodiscard]] PartitionShares shares() const {
     PartitionShares s;

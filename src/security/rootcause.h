@@ -50,6 +50,7 @@ struct RootCauseStats {
     happy_deployed += o.happy_deployed;
     return *this;
   }
+  [[nodiscard]] bool operator==(const RootCauseStats&) const = default;
 
   [[nodiscard]] double metric_change() const {
     return sources == 0 ? 0.0

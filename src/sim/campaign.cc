@@ -1,0 +1,265 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/batch_executor.h"
+#include "topology/registry.h"
+#include "util/strings.h"
+
+namespace sbgp::sim {
+
+namespace {
+
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Everything one trial owns: its generated topology, the resolver whose
+/// rollout cache the resolved deployments point into, and the readiness
+/// flag pair-analysis units of this trial wait on.
+struct TrialState {
+  std::uint64_t seed = 0;
+  topology::GeneratedTopology topo;
+  topology::TierInfo tiers;
+  std::unique_ptr<ExperimentResolver> resolver;
+  std::vector<ResolvedExperiment> resolved;
+  std::atomic<bool> ready{false};  // never set if the trial's prep threw
+};
+
+}  // namespace
+
+const std::array<std::string_view, kNumCampaignMetrics>&
+campaign_metric_names() {
+  static const std::array<std::string_view, kNumCampaignMetrics> names = {
+      "happy_lower",         "happy_upper",        "doomed",
+      "protectable",         "immune",             "downgraded",
+      "collateral_benefits", "collateral_damages", "metric_change",
+  };
+  return names;
+}
+
+std::size_t campaign_metric_index(std::string_view name) {
+  const auto& names = campaign_metric_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  throw std::invalid_argument(
+      "campaign_metric_index: unknown metric '" + std::string(name) +
+      "'; available: " +
+      util::comma_join(names, [](std::string_view n) { return n; }));
+}
+
+std::array<double, kNumCampaignMetrics> campaign_metrics(
+    const PairStats& stats) {
+  return {
+      ratio(stats.happiness.happy_lower, stats.happiness.sources),
+      ratio(stats.happiness.happy_upper, stats.happiness.sources),
+      ratio(stats.partitions.doomed, stats.partitions.sources),
+      ratio(stats.partitions.protectable, stats.partitions.sources),
+      ratio(stats.partitions.immune, stats.partitions.sources),
+      ratio(stats.downgrades.downgraded, stats.downgrades.sources),
+      ratio(stats.collateral.benefits, stats.collateral.insecure_sources),
+      ratio(stats.collateral.damages, stats.collateral.insecure_sources),
+      stats.root_causes.metric_change(),
+  };
+}
+
+std::vector<CampaignRow> aggregate_trial_rows(
+    const std::vector<CampaignTrialRow>& trial_rows) {
+  struct Agg {
+    CampaignRow row;  // metrics filled at the end
+    std::array<util::Accumulator, kNumCampaignMetrics> acc;
+  };
+  std::map<std::size_t, Agg> by_spec;
+  for (const auto& tr : trial_rows) {
+    auto [it, inserted] = by_spec.try_emplace(tr.spec_index);
+    if (inserted) {
+      it->second.row.label = tr.row.label;
+      it->second.row.topology = tr.topology;
+      it->second.row.spec_index = tr.spec_index;
+    }
+    const auto values = campaign_metrics(tr.row.stats);
+    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+      it->second.acc[m].add(values[m]);
+    }
+  }
+  std::vector<CampaignRow> rows;
+  rows.reserve(by_spec.size());
+  for (auto& [spec_index, agg] : by_spec) {
+    agg.row.trials = agg.acc.front().count();
+    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+      agg.row.metrics[m] = {agg.acc[m].mean(), agg.acc[m].std_error(),
+                            agg.acc[m].min(), agg.acc[m].max()};
+    }
+    rows.push_back(std::move(agg.row));
+  }
+  return rows;
+}
+
+CampaignResult run_campaign(const CampaignSpec& campaign,
+                            const RunnerOptions& opts) {
+  // Validate everything name-shaped before spawning any work, so a typo'd
+  // campaign fails fast with the registry contents in the message.
+  (void)topology::topology_params(campaign.topology);
+  if (campaign.trials == 0) {
+    throw std::invalid_argument("run_campaign: trials must be >= 1");
+  }
+  if (campaign.experiments.empty()) {
+    throw std::invalid_argument("run_campaign: no experiment specs");
+  }
+  for (const auto& spec : campaign.experiments) {
+    if (!spec.attackers.empty() || !spec.destinations.empty()) {
+      throw std::invalid_argument(
+          "run_campaign: spec '" + spec.label +
+          "' pins explicit attacker/destination AS ids, which are "
+          "topology-specific; campaigns sample per trial");
+    }
+    if (spec.analyses.empty()) {
+      throw std::invalid_argument("run_campaign: spec '" + spec.label +
+                                  "' selects no analyses");
+    }
+    if (deployment::find_scenario(spec.scenario) == nullptr) {
+      throw std::invalid_argument(
+          "run_campaign: unknown scenario '" + spec.scenario +
+          "'; available: " + deployment::scenario_names());
+    }
+  }
+
+  const std::size_t num_trials = campaign.trials;
+  const std::size_t num_specs = campaign.experiments.size();
+  const std::size_t num_cells = num_trials * num_specs;
+
+  // Unit layout of the single submission: indices [0, T) prepare trial t
+  // (generate + classify + resolve every spec); the rest are per-pair
+  // units, one (trial, spec) cell after another, each cell spanning the
+  // requested attackers x destinations grid. Grid slots that sampling left
+  // empty or where attacker == destination are skipped, exactly like
+  // make_attack_pairs. Prep units sit at the lowest indices and chunks are
+  // handed out in index order, so every prep is claimed (and being
+  // executed) before any worker can block on its trial's readiness —
+  // pair analysis of trial t overlaps generation of trials t+1...
+  std::vector<std::size_t> cell_end(num_cells);
+  {
+    std::size_t unit = num_trials;
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      const auto& spec = campaign.experiments[cell % num_specs];
+      unit += spec.num_attackers * spec.num_destinations;
+      cell_end[cell] = unit;
+    }
+  }
+  const std::size_t total_units =
+      cell_end.empty() ? num_trials : cell_end.back();
+
+  std::vector<TrialState> states(num_trials);
+  for (std::size_t t = 0; t < num_trials; ++t) {
+    states[t].seed = topology::trial_seed(campaign.seed, campaign.topology, t);
+  }
+
+  BatchExecutor& exec =
+      opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
+  const std::size_t workers = exec.effective_workers(opts.threads);
+  std::vector<std::vector<PairStats>> accs(
+      workers, std::vector<PairStats>(num_cells));
+
+  // Readiness handshake: pair units of a not-yet-prepared trial block on
+  // ready_cv rather than spinning (this box may oversubscribe cores). A
+  // failed prep — or any throwing unit — raises `abort` and notifies, so
+  // no waiter outlives the batch; the executor rethrows the first error.
+  std::mutex ready_mutex;
+  std::condition_variable ready_cv;
+  std::atomic<bool> abort{false};
+
+  const auto task = [&](std::size_t worker, std::size_t unit) {
+    try {
+      if (unit < num_trials) {
+        TrialState& st = states[unit];
+        st.topo = topology::generate_trial(campaign.topology, campaign.seed,
+                                           unit);
+        st.tiers = st.topo.classify();
+        st.resolver = std::make_unique<ExperimentResolver>(st.topo.graph,
+                                                           st.tiers);
+        st.resolved.reserve(num_specs);
+        for (const auto& spec : campaign.experiments) {
+          st.resolved.push_back(st.resolver->resolve(spec));
+        }
+        {
+          const std::lock_guard<std::mutex> lock(ready_mutex);
+          st.ready.store(true, std::memory_order_release);
+        }
+        ready_cv.notify_all();
+        return;
+      }
+      const std::size_t cell = static_cast<std::size_t>(
+          std::upper_bound(cell_end.begin(), cell_end.end(), unit) -
+          cell_end.begin());
+      const std::size_t trial = cell / num_specs;
+      TrialState& st = states[trial];
+      if (!st.ready.load(std::memory_order_acquire)) {
+        std::unique_lock<std::mutex> lock(ready_mutex);
+        ready_cv.wait(lock, [&] {
+          return st.ready.load(std::memory_order_acquire) ||
+                 abort.load(std::memory_order_relaxed);
+        });
+      }
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t cell_begin =
+          cell == 0 ? num_trials : cell_end[cell - 1];
+      const std::size_t slot = unit - cell_begin;
+      const ResolvedExperiment& re = st.resolved[cell % num_specs];
+      const std::size_t grid_cols =
+          campaign.experiments[cell % num_specs].num_destinations;
+      const std::size_t a = slot / grid_cols;
+      const std::size_t d = slot % grid_cols;
+      if (a >= re.attackers.size() || d >= re.destinations.size()) return;
+      if (re.attackers[a] == re.destinations[d]) return;
+      accumulate_pair_into(st.topo.graph, re.destinations[d], re.attackers[a],
+                           re.cfg, *re.deployment, exec.workspace(worker),
+                           accs[worker][cell]);
+    } catch (...) {
+      // The store must happen under the mutex, or a waiter between its
+      // predicate check and its sleep would miss this (final) wakeup.
+      {
+        const std::lock_guard<std::mutex> lock(ready_mutex);
+        abort.store(true, std::memory_order_relaxed);
+      }
+      ready_cv.notify_all();
+      throw;
+    }
+  };
+  exec.run(total_units, task, workers);
+
+  CampaignResult result;
+  result.label =
+      campaign.label.empty() ? campaign.topology : campaign.label;
+  result.topology = campaign.topology;
+  result.seed = campaign.seed;
+  result.trial_rows.reserve(num_cells);
+  for (std::size_t t = 0; t < num_trials; ++t) {
+    for (std::size_t s = 0; s < num_specs; ++s) {
+      CampaignTrialRow tr;
+      tr.topology = campaign.topology;
+      tr.trial = t;
+      tr.topology_seed = states[t].seed;
+      tr.spec_index = s;
+      tr.row = states[t].resolved[s].header;
+      // Merge per-worker integer partials in worker order — bit-for-bit
+      // identical for any worker count, and identical to analyze_pairs.
+      for (std::size_t w = 0; w < workers; ++w) {
+        tr.row.stats += accs[w][t * num_specs + s];
+      }
+      result.trial_rows.push_back(std::move(tr));
+    }
+  }
+  result.rows = aggregate_trial_rows(result.trial_rows);
+  return result;
+}
+
+}  // namespace sbgp::sim

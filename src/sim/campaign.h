@@ -1,0 +1,130 @@
+// Multi-topology experiment campaigns.
+//
+// The paper's headline numbers (Table 3, Figures 3-16) are statistics over
+// one sampled AS graph; a production-scale reproduction sweeps many
+// generated topologies and reports per-trial spread. A CampaignSpec is
+// pure data: a topology::topology_registry() name, a trial count, a master
+// seed, and the ExperimentSpec list to evaluate on every trial's topology.
+//
+// Scheduling: run_campaign flattens the whole campaign — every trial's
+// topology prep plus every (trial, spec, pair) work item — into a single
+// BatchExecutor submission. Short specs no longer serialize behind long
+// ones at per-spec run() barriers, and topology generation for later
+// trials overlaps pair analysis of earlier ones: prep units occupy the
+// lowest indices, so workers draining pair chunks of trial t while another
+// worker is still generating trial t+1 is the steady state, not a special
+// case.
+//
+// Determinism contract: trial t's topology is generated from
+// topology::trial_seed(seed, topology, t) — reproducible in isolation —
+// and all accumulation is per-worker integer partials merged in worker
+// order, so per-trial rows are bit-for-bit identical to independent
+// run_experiment_suite calls on the same generated topologies, for any
+// worker count.
+#ifndef SBGP_SIM_CAMPAIGN_H
+#define SBGP_SIM_CAMPAIGN_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/stats.h"
+
+namespace sbgp::sim {
+
+/// A whole multi-topology study as data: every trial generates a fresh
+/// topology from the named registry entry and evaluates every experiment
+/// spec on it. Experiment specs must sample their pair sets (explicit
+/// attacker/destination AS lists are topology-specific and rejected).
+struct CampaignSpec {
+  std::string label;                     // defaults to the topology name
+  std::string topology = "default-10k";  // topology::topology_registry() name
+  std::size_t trials = 3;
+  std::uint64_t seed = 20130812;  // master seed -> per-trial topology seeds
+  std::vector<ExperimentSpec> experiments;
+};
+
+/// One (trial, experiment spec) result: the same row run_experiment_suite
+/// would produce on that trial's topology, plus the campaign coordinates
+/// that make the row self-describing in serialized form.
+struct CampaignTrialRow {
+  std::string topology;
+  std::size_t trial = 0;
+  std::uint64_t topology_seed = 0;  // topology::trial_seed(...) of this trial
+  std::size_t spec_index = 0;       // index into CampaignSpec::experiments
+  ExperimentRow row;
+
+  [[nodiscard]] bool operator==(const CampaignTrialRow&) const = default;
+};
+
+/// Cross-trial summary of one derived metric.
+struct MetricSummary {
+  double mean = 0.0;
+  double std_error = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] bool operator==(const MetricSummary&) const = default;
+};
+
+/// The derived per-row metrics a campaign aggregates across trials, in
+/// campaign_metric_names() order. Metrics of unselected analyses are zero.
+inline constexpr std::size_t kNumCampaignMetrics = 9;
+
+/// Column names: happy_lower, happy_upper, doomed, protectable, immune,
+/// downgraded, collateral_benefits, collateral_damages, metric_change.
+[[nodiscard]] const std::array<std::string_view, kNumCampaignMetrics>&
+campaign_metric_names();
+
+/// Derived metric values of one row's statistics (fractions of the
+/// relevant source populations; 0 when the analysis was not selected).
+[[nodiscard]] std::array<double, kNumCampaignMetrics> campaign_metrics(
+    const PairStats& stats);
+
+/// Index of a named metric in campaign_metric_names() order; throws
+/// std::invalid_argument (listing the names) for unknown names.
+[[nodiscard]] std::size_t campaign_metric_index(std::string_view name);
+
+/// One experiment spec aggregated across every trial of a campaign.
+struct CampaignRow {
+  std::string label;  // trial 0's row label (step labels can vary per trial)
+  std::string topology;
+  std::size_t spec_index = 0;
+  std::size_t trials = 0;
+  std::array<MetricSummary, kNumCampaignMetrics> metrics;
+
+  [[nodiscard]] bool operator==(const CampaignRow&) const = default;
+};
+
+/// Everything a campaign produced: per-trial rows in (trial-major, spec
+/// order) and one aggregated row per experiment spec.
+struct CampaignResult {
+  std::string label;
+  std::string topology;
+  std::uint64_t seed = 0;
+  std::vector<CampaignTrialRow> trial_rows;
+  std::vector<CampaignRow> rows;
+};
+
+/// Groups per-trial rows by spec index and summarizes every derived metric
+/// across trials (mean/stderr/min/max via util::Accumulator). Rows must be
+/// grouped as run_campaign emits them (all specs of trial 0, then trial 1,
+/// ...); the output has one CampaignRow per distinct spec index.
+[[nodiscard]] std::vector<CampaignRow> aggregate_trial_rows(
+    const std::vector<CampaignTrialRow>& trial_rows);
+
+/// Runs the whole campaign on one BatchExecutor submission (see file
+/// comment). Throws std::invalid_argument — naming the registered
+/// topologies / scenarios — on unknown names, and on empty trial or
+/// experiment lists, explicit attacker/destination AS lists, empty
+/// analysis sets, or out-of-range rollout steps.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& campaign,
+                                          const RunnerOptions& opts = {});
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_CAMPAIGN_H

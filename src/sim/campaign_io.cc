@@ -1,0 +1,604 @@
+#include "sim/campaign_io.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/csv.h"
+
+namespace sbgp::sim {
+
+namespace {
+
+using util::csv_line;
+using util::format_double;
+using util::parse_double;
+using util::parse_u64;
+using util::split_csv_line;
+
+// --- shared column schema --------------------------------------------------
+
+/// Leading identity columns of a per-trial row; the integer counter
+/// columns of kCounterNames follow. CSV and JSON use the same names.
+constexpr std::array<std::string_view, 8> kIdNames = {
+    "topology", "trial",      "topology_seed", "spec",
+    "label",    "step_label", "model",         "hysteresis"};
+
+constexpr std::array<std::string_view, 31> kCounterNames = {
+    "num_non_stub_secure",
+    "total_secure",
+    "num_attackers",
+    "num_destinations",
+    "pairs",
+    "happy_lower",
+    "happy_upper",
+    "happy_sources",
+    "doomed",
+    "protectable",
+    "immune",
+    "partition_sources",
+    "dg_sources",
+    "dg_secure_normal",
+    "dg_downgraded",
+    "dg_secure_kept",
+    "dg_kept_and_immune",
+    "col_insecure_sources",
+    "col_benefits",
+    "col_damages",
+    "col_benefits_upper",
+    "col_damages_upper",
+    "rc_sources",
+    "rc_secure_normal",
+    "rc_downgraded",
+    "rc_secure_wasted",
+    "rc_secure_protecting",
+    "rc_collateral_benefits",
+    "rc_collateral_damages",
+    "rc_happy_baseline",
+    "rc_happy_deployed",
+};
+
+/// Pointers to the row's counters in kCounterNames order; `Row` is
+/// CampaignTrialRow or const CampaignTrialRow, so writers and readers
+/// share one schema definition.
+template <typename Row>
+auto counter_slots(Row& r) {
+  auto& e = r.row;
+  auto& s = e.stats;
+  return std::array{
+      &e.num_non_stub_secure,
+      &e.total_secure,
+      &e.num_attackers,
+      &e.num_destinations,
+      &s.pairs,
+      &s.happiness.happy_lower,
+      &s.happiness.happy_upper,
+      &s.happiness.sources,
+      &s.partitions.doomed,
+      &s.partitions.protectable,
+      &s.partitions.immune,
+      &s.partitions.sources,
+      &s.downgrades.sources,
+      &s.downgrades.secure_normal,
+      &s.downgrades.downgraded,
+      &s.downgrades.secure_kept,
+      &s.downgrades.kept_and_immune,
+      &s.collateral.insecure_sources,
+      &s.collateral.benefits,
+      &s.collateral.damages,
+      &s.collateral.benefits_upper,
+      &s.collateral.damages_upper,
+      &s.root_causes.sources,
+      &s.root_causes.secure_normal,
+      &s.root_causes.downgraded,
+      &s.root_causes.secure_wasted,
+      &s.root_causes.secure_protecting,
+      &s.root_causes.collateral_benefits,
+      &s.root_causes.collateral_damages,
+      &s.root_causes.happy_baseline,
+      &s.root_causes.happy_deployed,
+  };
+}
+
+routing::SecurityModel parse_model(std::string_view s) {
+  for (const auto m : {routing::SecurityModel::kInsecure,
+                       routing::SecurityModel::kSecurityFirst,
+                       routing::SecurityModel::kSecuritySecond,
+                       routing::SecurityModel::kSecurityThird}) {
+    if (to_string(m) == s) return m;
+  }
+  throw std::invalid_argument("campaign_io: unknown security model '" +
+                              std::string(s) + "'");
+}
+
+bool parse_bool(std::string_view s) {
+  if (s == "1" || s == "true") return true;
+  if (s == "0" || s == "false") return false;
+  throw std::invalid_argument("campaign_io: bad bool field '" +
+                              std::string(s) + "'");
+}
+
+constexpr std::array<std::string_view, 4> kSummaryParts = {"mean", "stderr",
+                                                           "min", "max"};
+
+std::array<double, 4> summary_values(const MetricSummary& m) {
+  return {m.mean, m.std_error, m.min, m.max};
+}
+
+MetricSummary summary_from(const std::array<double, 4>& v) {
+  return {v[0], v[1], v[2], v[3]};
+}
+
+// --- minimal JSON ----------------------------------------------------------
+
+// The serializers emit only flat-ish arrays of objects with string /
+// number / bool values (aggregated rows nest one object level for the
+// metric summaries), so this is a deliberately small parser for exactly
+// that subset. Numbers keep their raw text so integer counters round-trip
+// exactly even beyond 2^53.
+
+struct JsonValue {
+  enum class Kind { kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kBool;
+  bool boolean = false;
+  std::string text;  // string contents or raw number text
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue& at(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return v;
+    }
+    throw std::invalid_argument("campaign_io: missing JSON key '" +
+                                std::string(key) + "'");
+  }
+  [[nodiscard]] std::uint64_t as_u64(std::string_view key) const {
+    return parse_u64(at(key).text);
+  }
+  [[nodiscard]] double as_double(std::string_view key) const {
+    return parse_double(at(key).text);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("campaign_io: JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't' || c == 'f') return boolean();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      JsonValue key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.text), value());
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.text += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.text += '"'; break;
+        case '\\': v.text += '\\'; break;
+        case '/': v.text += '/'; break;
+        case 'b': v.text += '\b'; break;
+        case 'f': v.text += '\f'; break;
+        case 'n': v.text += '\n'; break;
+        case 'r': v.text += '\r'; break;
+        case 't': v.text += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          if (code >= 0x80) fail("non-ASCII \\u escape unsupported");
+          v.text += static_cast<char>(code);
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::string_view("+-.eE0123456789").find(text_[pos_]) !=
+            std::string_view::npos)) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    v.text = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonValue parse_stream(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  JsonParser parser(text);
+  JsonValue v = parser.parse();
+  if (v.kind != JsonValue::Kind::kArray) {
+    throw std::invalid_argument("campaign_io: expected a JSON array of rows");
+  }
+  return v;
+}
+
+std::string read_line(std::istream& is, bool& ok) {
+  std::string line;
+  ok = static_cast<bool>(std::getline(is, line));
+  if (ok && !line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+// --- per-trial rows --------------------------------------------------------
+
+void write_trial_rows_csv(std::ostream& os,
+                          const std::vector<CampaignTrialRow>& rows) {
+  std::vector<std::string> fields;
+  for (const auto name : kIdNames) fields.emplace_back(name);
+  for (const auto name : kCounterNames) fields.emplace_back(name);
+  os << csv_line(fields) << '\n';
+  for (const auto& r : rows) {
+    fields.clear();
+    fields.push_back(r.topology);
+    fields.push_back(std::to_string(r.trial));
+    fields.push_back(std::to_string(r.topology_seed));
+    fields.push_back(std::to_string(r.spec_index));
+    fields.push_back(r.row.label);
+    fields.push_back(r.row.step_label);
+    fields.emplace_back(to_string(r.row.model));
+    fields.push_back(r.row.hysteresis ? "1" : "0");
+    for (const auto* slot : counter_slots(r)) {
+      fields.push_back(std::to_string(*slot));
+    }
+    os << csv_line(fields) << '\n';
+  }
+}
+
+std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
+  bool ok = false;
+  const std::string header = read_line(is, ok);
+  if (!ok) {
+    throw std::invalid_argument("read_trial_rows_csv: empty input");
+  }
+  std::vector<std::string> expected;
+  for (const auto name : kIdNames) expected.emplace_back(name);
+  for (const auto name : kCounterNames) expected.emplace_back(name);
+  if (split_csv_line(header) != expected) {
+    throw std::invalid_argument("read_trial_rows_csv: header mismatch");
+  }
+  std::vector<CampaignTrialRow> rows;
+  for (;;) {
+    const std::string line = read_line(is, ok);
+    if (!ok) break;
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != expected.size()) {
+      throw std::invalid_argument("read_trial_rows_csv: bad row arity");
+    }
+    CampaignTrialRow r;
+    r.topology = fields[0];
+    r.trial = static_cast<std::size_t>(parse_u64(fields[1]));
+    r.topology_seed = parse_u64(fields[2]);
+    r.spec_index = static_cast<std::size_t>(parse_u64(fields[3]));
+    r.row.label = fields[4];
+    r.row.step_label = fields[5];
+    r.row.model = parse_model(fields[6]);
+    r.row.hysteresis = parse_bool(fields[7]);
+    const auto slots = counter_slots(r);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      *slots[i] =
+          static_cast<std::size_t>(parse_u64(fields[kIdNames.size() + i]));
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+void write_trial_rows_json(std::ostream& os,
+                           const std::vector<CampaignTrialRow>& rows) {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"topology\": " << json_escape(r.topology)
+       << ", \"trial\": " << r.trial
+       << ", \"topology_seed\": " << r.topology_seed
+       << ", \"spec\": " << r.spec_index
+       << ", \"label\": " << json_escape(r.row.label)
+       << ", \"step_label\": " << json_escape(r.row.step_label)
+       << ", \"model\": " << json_escape(to_string(r.row.model))
+       << ", \"hysteresis\": " << (r.row.hysteresis ? "true" : "false");
+    const auto slots = counter_slots(r);
+    for (std::size_t c = 0; c < slots.size(); ++c) {
+      os << ", \"" << kCounterNames[c] << "\": " << *slots[c];
+    }
+    os << '}' << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+std::vector<CampaignTrialRow> read_trial_rows_json(std::istream& is) {
+  const JsonValue root = parse_stream(is);
+  std::vector<CampaignTrialRow> rows;
+  rows.reserve(root.array.size());
+  for (const auto& obj : root.array) {
+    CampaignTrialRow r;
+    r.topology = obj.at("topology").text;
+    r.trial = static_cast<std::size_t>(obj.as_u64("trial"));
+    r.topology_seed = obj.as_u64("topology_seed");
+    r.spec_index = static_cast<std::size_t>(obj.as_u64("spec"));
+    r.row.label = obj.at("label").text;
+    r.row.step_label = obj.at("step_label").text;
+    r.row.model = parse_model(obj.at("model").text);
+    r.row.hysteresis = obj.at("hysteresis").boolean;
+    const auto slots = counter_slots(r);
+    for (std::size_t c = 0; c < slots.size(); ++c) {
+      *slots[c] = static_cast<std::size_t>(obj.as_u64(kCounterNames[c]));
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+// --- aggregated rows -------------------------------------------------------
+
+void write_campaign_rows_csv(std::ostream& os,
+                             const std::vector<CampaignRow>& rows) {
+  std::vector<std::string> fields = {"label", "topology", "spec", "trials"};
+  for (const auto metric : campaign_metric_names()) {
+    for (const auto part : kSummaryParts) {
+      fields.push_back(std::string(metric) + '_' + std::string(part));
+    }
+  }
+  os << csv_line(fields) << '\n';
+  for (const auto& r : rows) {
+    fields.clear();
+    fields.push_back(r.label);
+    fields.push_back(r.topology);
+    fields.push_back(std::to_string(r.spec_index));
+    fields.push_back(std::to_string(r.trials));
+    for (const auto& m : r.metrics) {
+      for (const double v : summary_values(m)) {
+        fields.push_back(format_double(v));
+      }
+    }
+    os << csv_line(fields) << '\n';
+  }
+}
+
+std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
+  bool ok = false;
+  const std::string header = read_line(is, ok);
+  if (!ok) {
+    throw std::invalid_argument("read_campaign_rows_csv: empty input");
+  }
+  std::vector<std::string> expected = {"label", "topology", "spec", "trials"};
+  for (const auto metric : campaign_metric_names()) {
+    for (const auto part : kSummaryParts) {
+      expected.push_back(std::string(metric) + '_' + std::string(part));
+    }
+  }
+  if (split_csv_line(header) != expected) {
+    throw std::invalid_argument("read_campaign_rows_csv: header mismatch");
+  }
+  std::vector<CampaignRow> rows;
+  for (;;) {
+    const std::string line = read_line(is, ok);
+    if (!ok) break;
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != expected.size()) {
+      throw std::invalid_argument("read_campaign_rows_csv: bad row arity");
+    }
+    CampaignRow r;
+    r.label = fields[0];
+    r.topology = fields[1];
+    r.spec_index = static_cast<std::size_t>(parse_u64(fields[2]));
+    r.trials = static_cast<std::size_t>(parse_u64(fields[3]));
+    std::size_t f = 4;
+    for (auto& m : r.metrics) {
+      std::array<double, 4> v;
+      for (double& x : v) x = parse_double(fields[f++]);
+      m = summary_from(v);
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+void write_campaign_rows_json(std::ostream& os,
+                              const std::vector<CampaignRow>& rows) {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"label\": " << json_escape(r.label)
+       << ", \"topology\": " << json_escape(r.topology)
+       << ", \"spec\": " << r.spec_index << ", \"trials\": " << r.trials
+       << ", \"metrics\": {";
+    const auto& names = campaign_metric_names();
+    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+      if (m != 0) os << ", ";
+      const auto values = summary_values(r.metrics[m]);
+      os << '"' << names[m] << "\": {";
+      for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
+        if (p != 0) os << ", ";
+        os << '"' << kSummaryParts[p] << "\": " << format_double(values[p]);
+      }
+      os << '}';
+    }
+    os << "}}" << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+std::vector<CampaignRow> read_campaign_rows_json(std::istream& is) {
+  const JsonValue root = parse_stream(is);
+  std::vector<CampaignRow> rows;
+  rows.reserve(root.array.size());
+  for (const auto& obj : root.array) {
+    CampaignRow r;
+    r.label = obj.at("label").text;
+    r.topology = obj.at("topology").text;
+    r.spec_index = static_cast<std::size_t>(obj.as_u64("spec"));
+    r.trials = static_cast<std::size_t>(obj.as_u64("trials"));
+    const JsonValue& metrics = obj.at("metrics");
+    const auto& names = campaign_metric_names();
+    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+      const JsonValue& summary = metrics.at(names[m]);
+      std::array<double, 4> v;
+      for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
+        v[p] = summary.as_double(kSummaryParts[p]);
+      }
+      r.metrics[m] = summary_from(v);
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace sbgp::sim

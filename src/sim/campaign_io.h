@@ -1,0 +1,49 @@
+// Campaign result serialization: CSV and JSON, with round-trip readers.
+//
+// Per-trial rows carry the raw integer counters of every analysis (exact
+// decimal serialization), so written results can be diffed byte-for-byte
+// across machines and thread counts, re-aggregated offline, or compared in
+// CI against a checked-in baseline. Aggregated rows carry the derived
+// metric summaries (mean/stderr/min/max) formatted with max_digits10, so
+// parsing returns the identical doubles. Both formats are flat and
+// self-describing: CSV starts with a header line the readers verify;
+// JSON is an array of objects keyed by the same column names.
+#ifndef SBGP_SIM_CAMPAIGN_IO_H
+#define SBGP_SIM_CAMPAIGN_IO_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/campaign.h"
+
+namespace sbgp::sim {
+
+// --- per-trial rows --------------------------------------------------------
+
+void write_trial_rows_csv(std::ostream& os,
+                          const std::vector<CampaignTrialRow>& rows);
+/// Parses what write_trial_rows_csv produced. Throws std::invalid_argument
+/// on a header mismatch or malformed row.
+[[nodiscard]] std::vector<CampaignTrialRow> read_trial_rows_csv(
+    std::istream& is);
+
+void write_trial_rows_json(std::ostream& os,
+                           const std::vector<CampaignTrialRow>& rows);
+[[nodiscard]] std::vector<CampaignTrialRow> read_trial_rows_json(
+    std::istream& is);
+
+// --- aggregated rows -------------------------------------------------------
+
+void write_campaign_rows_csv(std::ostream& os,
+                             const std::vector<CampaignRow>& rows);
+[[nodiscard]] std::vector<CampaignRow> read_campaign_rows_csv(
+    std::istream& is);
+
+void write_campaign_rows_json(std::ostream& os,
+                              const std::vector<CampaignRow>& rows);
+[[nodiscard]] std::vector<CampaignRow> read_campaign_rows_json(
+    std::istream& is);
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_CAMPAIGN_IO_H

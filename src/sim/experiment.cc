@@ -1,6 +1,5 @@
 #include "sim/experiment.h"
 
-#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -23,67 +22,78 @@ std::string compose_label(const ExperimentSpec& spec,
 
 }  // namespace
 
+ResolvedExperiment ExperimentResolver::resolve(const ExperimentSpec& spec) {
+  if (spec.analyses.empty()) {
+    throw std::invalid_argument("ExperimentResolver: spec '" + spec.label +
+                                "' selects no analyses");
+  }
+  // Rollout construction touches every stub of every secured ISP; cache per
+  // (scenario, stub mode) so sweeping models/analyses stays cheap.
+  auto key = std::make_pair(spec.scenario, spec.stub_mode);
+  auto it = rollouts_.find(key);
+  if (it == rollouts_.end()) {
+    it = rollouts_
+             .emplace(std::move(key),
+                      deployment::build_scenario(spec.scenario, g_, tiers_,
+                                                 spec.stub_mode))
+             .first;
+  }
+  const auto& steps = it->second;
+  const std::size_t index = spec.rollout_step == kLastRolloutStep
+                                ? steps.size() - 1
+                                : spec.rollout_step;
+  if (index >= steps.size()) {
+    throw std::invalid_argument("ExperimentResolver: rollout step " +
+                                std::to_string(spec.rollout_step) +
+                                " out of range for scenario '" +
+                                spec.scenario + "'");
+  }
+  const deployment::RolloutStep& step = steps[index];
+
+  ResolvedExperiment re;
+  re.attackers = !spec.attackers.empty()
+                     ? spec.attackers
+                     : sample_ases(non_stub_ases(g_), spec.num_attackers,
+                                   spec.sample_seed);
+  re.destinations = !spec.destinations.empty()
+                        ? spec.destinations
+                        : sample_ases(all_ases(g_), spec.num_destinations,
+                                      spec.sample_seed + 1);
+  if (re.attackers.empty() || re.destinations.empty() ||
+      (re.attackers.size() == 1 && re.destinations.size() == 1 &&
+       re.attackers.front() == re.destinations.front())) {
+    throw std::invalid_argument("ExperimentResolver: spec '" + spec.label +
+                                "' has no valid (attacker, destination) pair");
+  }
+
+  re.cfg.analyses = spec.analyses;
+  re.cfg.model = spec.model;
+  re.cfg.lp = spec.lp;
+  re.cfg.hysteresis = spec.hysteresis;
+  re.deployment = &step.deployment;
+
+  re.header.label = spec.label.empty() ? compose_label(spec, step) : spec.label;
+  re.header.step_label = step.label;
+  re.header.model = spec.model;
+  re.header.hysteresis = spec.hysteresis;
+  re.header.num_non_stub_secure = step.num_non_stub_secure;
+  re.header.total_secure = step.total_secure;
+  re.header.num_attackers = re.attackers.size();
+  re.header.num_destinations = re.destinations.size();
+  return re;
+}
+
 std::vector<ExperimentRow> run_experiment_suite(
     const AsGraph& g, const topology::TierInfo& tiers,
     const std::vector<ExperimentSpec>& specs, const RunnerOptions& opts) {
-  // Rollout construction touches every stub of every secured ISP; cache per
-  // (scenario, stub mode) so sweeping models/analyses stays cheap.
-  std::map<std::pair<std::string, deployment::StubMode>,
-           std::vector<deployment::RolloutStep>>
-      rollouts;
-
+  ExperimentResolver resolver(g, tiers);
   std::vector<ExperimentRow> rows;
   rows.reserve(specs.size());
   for (const auto& spec : specs) {
-    auto key = std::make_pair(spec.scenario, spec.stub_mode);
-    auto it = rollouts.find(key);
-    if (it == rollouts.end()) {
-      it = rollouts
-               .emplace(std::move(key),
-                        deployment::build_scenario(spec.scenario, g, tiers,
-                                                   spec.stub_mode))
-               .first;
-    }
-    const auto& steps = it->second;
-    const std::size_t index =
-        spec.rollout_step == kLastRolloutStep ? steps.size() - 1
-                                              : spec.rollout_step;
-    if (index >= steps.size()) {
-      throw std::invalid_argument("run_experiment_suite: rollout step " +
-                                  std::to_string(spec.rollout_step) +
-                                  " out of range for scenario '" +
-                                  spec.scenario + "'");
-    }
-    const deployment::RolloutStep& step = steps[index];
-
-    const std::vector<AsId> attackers =
-        !spec.attackers.empty()
-            ? spec.attackers
-            : sample_ases(non_stub_ases(g), spec.num_attackers,
-                          spec.sample_seed);
-    const std::vector<AsId> destinations =
-        !spec.destinations.empty()
-            ? spec.destinations
-            : sample_ases(all_ases(g), spec.num_destinations,
-                          spec.sample_seed + 1);
-
-    PairAnalysisConfig cfg;
-    cfg.analyses = spec.analyses;
-    cfg.model = spec.model;
-    cfg.lp = spec.lp;
-    cfg.hysteresis = spec.hysteresis;
-
-    ExperimentRow row;
-    row.label = spec.label.empty() ? compose_label(spec, step) : spec.label;
-    row.step_label = step.label;
-    row.model = spec.model;
-    row.hysteresis = spec.hysteresis;
-    row.num_non_stub_secure = step.num_non_stub_secure;
-    row.total_secure = step.total_secure;
-    row.num_attackers = attackers.size();
-    row.num_destinations = destinations.size();
-    row.stats = analyze_pairs(g, attackers, destinations, cfg,
-                              step.deployment, opts);
+    ResolvedExperiment re = resolver.resolve(spec);
+    ExperimentRow row = std::move(re.header);
+    row.stats = analyze_pairs(g, re.attackers, re.destinations, re.cfg,
+                              *re.deployment, opts);
     rows.push_back(std::move(row));
   }
   return rows;

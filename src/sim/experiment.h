@@ -13,7 +13,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "deployment/scenario.h"
@@ -66,6 +68,47 @@ struct ExperimentRow {
   std::size_t num_attackers = 0;
   std::size_t num_destinations = 0;
   PairStats stats;
+
+  [[nodiscard]] bool operator==(const ExperimentRow&) const = default;
+};
+
+/// One spec resolved against a topology: the deployment to attack, the
+/// sampled pair sets, the fused-pipeline config, and the result-row header
+/// (stats still zero). `deployment` points into the owning resolver's
+/// rollout cache and is valid for the resolver's lifetime.
+struct ResolvedExperiment {
+  PairAnalysisConfig cfg;
+  const Deployment* deployment = nullptr;
+  std::vector<AsId> attackers;
+  std::vector<AsId> destinations;
+  ExperimentRow header;
+};
+
+/// Resolves ExperimentSpecs against one topology, building each scenario's
+/// rollout once per (scenario, stub mode) and reusing it across specs —
+/// the per-topology stage shared by run_experiment_suite and the
+/// multi-topology campaign driver (sim/campaign.h).
+class ExperimentResolver {
+ public:
+  ExperimentResolver(const AsGraph& g, const topology::TierInfo& tiers)
+      : g_(g), tiers_(tiers) {}
+
+  ExperimentResolver(const ExperimentResolver&) = delete;
+  ExperimentResolver& operator=(const ExperimentResolver&) = delete;
+
+  /// Resolves one spec: builds or reuses the rollout, samples the pair
+  /// sets, and fills the row header. Throws std::invalid_argument (naming
+  /// the registered scenarios) on unknown scenario names, and on
+  /// out-of-range rollout steps, empty analysis sets, or pair samples
+  /// with no valid (attacker != destination) pair.
+  [[nodiscard]] ResolvedExperiment resolve(const ExperimentSpec& spec);
+
+ private:
+  const AsGraph& g_;
+  const topology::TierInfo& tiers_;
+  std::map<std::pair<std::string, deployment::StubMode>,
+           std::vector<deployment::RolloutStep>>
+      rollouts_;
 };
 
 /// Runs every spec over the fused pipeline. Rollouts are built once per

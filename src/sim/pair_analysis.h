@@ -131,6 +131,7 @@ struct PairStats {
     root_causes += o.root_causes;
     return *this;
   }
+  [[nodiscard]] bool operator==(const PairStats&) const = default;
 };
 
 /// One (attacker, destination) instance of a pair sweep.

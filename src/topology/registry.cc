@@ -1,0 +1,126 @@
+#include "topology/registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sbgp::topology {
+
+namespace {
+
+GeneratorParams peering_rich_params() {
+  // The UCLA snapshot has almost as many peer links as customer-provider
+  // links; this variant pushes every lateral-peering knob up to probe how
+  // peer-link density shifts the security-2nd/3rd partitions.
+  GeneratorParams p;
+  p.stub_x_fraction = 0.45;
+  p.t2_peer_prob = 0.75;
+  p.t3_peer_prob = 0.25;
+  p.t2_t3_peer_prob = 0.30;
+  p.smdg_mean_peers = 4.0;
+  p.cp_t2_peer_prob = 0.55;
+  p.cp_t3_peer_prob = 0.35;
+  p.cp_cp_peer_prob = 0.70;
+  return p;
+}
+
+const std::vector<TopologyDef>& registry() {
+  static const std::vector<TopologyDef> defs = {
+      {"default-10k", "~10k ASes, tier mix mirroring Table 1",
+       GeneratorParams{}},
+      {"bench-8k", "8000 ASes, the figure/table bench default",
+       scaled_params(8000)},
+      {"small-2k", "2000 ASes with proportionately scaled tiers",
+       scaled_params(2000)},
+      {"tiny-500", "500 ASes for tests and CI smoke campaigns",
+       scaled_params(500)},
+      {"peering-rich", "~10k ASes with elevated peer-link density",
+       peering_rich_params()},
+  };
+  return defs;
+}
+
+std::string known_names() {
+  return util::comma_join(registry(),
+                          [](const TopologyDef& def) { return def.name; });
+}
+
+/// FNV-1a, so the topology name perturbs the seed stream deterministically.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+GeneratorParams scaled_params(std::uint32_t num_ases) {
+  GeneratorParams p;
+  p.num_ases = num_ases;
+  if (num_ases < 3000) {
+    // Keep the designated tiers proportionate on small graphs.
+    p.num_tier1 = std::max<std::uint32_t>(5, num_ases / 250);
+    p.num_tier2 = std::max<std::uint32_t>(10, num_ases / 40);
+    p.num_tier3 = std::max<std::uint32_t>(10, num_ases / 40);
+    p.num_content_providers = std::max<std::uint32_t>(3, num_ases / 200);
+  }
+  return p;
+}
+
+const std::vector<TopologyDef>& topology_registry() { return registry(); }
+
+const TopologyDef* find_topology(std::string_view name) {
+  for (const auto& def : registry()) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+GeneratorParams topology_params(std::string_view name) {
+  const TopologyDef* def = find_topology(name);
+  if (def == nullptr) {
+    throw std::invalid_argument("topology_params: unknown topology '" +
+                                std::string(name) +
+                                "'; available: " + known_names());
+  }
+  return def->params;
+}
+
+const TopologyDef& nearest_topology(std::uint32_t num_ases) {
+  const TopologyDef* best = nullptr;
+  std::uint64_t best_gap = 0;
+  for (const auto& def : registry()) {
+    const auto gap = static_cast<std::uint64_t>(
+        std::llabs(static_cast<std::int64_t>(def.params.num_ases) -
+                   static_cast<std::int64_t>(num_ases)));
+    if (best == nullptr || gap < best_gap) {
+      best = &def;
+      best_gap = gap;
+    }
+  }
+  return *best;  // the registry is never empty
+}
+
+std::uint64_t trial_seed(std::uint64_t campaign_seed, std::string_view topology,
+                         std::uint64_t trial) {
+  const std::uint64_t stream =
+      util::splitmix64(campaign_seed ^ fnv1a(topology));
+  return util::splitmix64(stream + trial);
+}
+
+GeneratedTopology generate_trial(std::string_view name,
+                                 std::uint64_t campaign_seed,
+                                 std::uint64_t trial) {
+  GeneratorParams params = topology_params(name);
+  params.seed = trial_seed(campaign_seed, name, trial);
+  return generate_internet(params);
+}
+
+}  // namespace sbgp::topology

@@ -1,0 +1,72 @@
+// Named topology registry: declarative campaigns reference generator
+// configurations by name, mirroring deployment::scenario_registry().
+//
+// The paper's headline numbers are statistics over one sampled AS graph;
+// a faithful reproduction sweeps many generated topologies and reports
+// per-trial spread. Registering GeneratorParams under stable names makes a
+// whole multi-topology campaign (sim/campaign.h) pure data, and the
+// SplitMix64-based per-trial seed derivation means trial t of topology T is
+// reproducible in isolation — no need to replay trials 0..t-1 first.
+#ifndef SBGP_TOPOLOGY_REGISTRY_H
+#define SBGP_TOPOLOGY_REGISTRY_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topology/generator.h"
+
+namespace sbgp::topology {
+
+/// A named generator configuration. The params' own `seed` field is
+/// irrelevant here: campaign trials overwrite it with trial_seed().
+struct TopologyDef {
+  std::string_view name;
+  std::string_view description;
+  GeneratorParams params;
+};
+
+/// All registered topologies:
+///   default-10k   the ~10k-AS default whose tier mix mirrors Table 1
+///   bench-8k      the 8000-AS graph the figure/table benches default to
+///   small-2k      2000 ASes with proportionately scaled designated tiers
+///   tiny-500      500 ASes for tests and CI smoke campaigns
+///   peering-rich  10k ASes with UCLA-like peer-link density cranked up
+[[nodiscard]] const std::vector<TopologyDef>& topology_registry();
+
+/// Looks up a topology by name; nullptr if unknown.
+[[nodiscard]] const TopologyDef* find_topology(std::string_view name);
+
+/// Generator params of a named topology. Throws std::invalid_argument
+/// naming the available registry entries when `name` is unknown.
+[[nodiscard]] GeneratorParams topology_params(std::string_view name);
+
+/// Generator params for an arbitrary graph size: the defaults, with the
+/// designated tier counts scaled down proportionately below 3000 ASes —
+/// the one formula the registry's small entries and the benches' argv
+/// override share.
+[[nodiscard]] GeneratorParams scaled_params(std::uint32_t num_ases);
+
+/// The registered topology whose num_ases is closest to `num_ases`
+/// (ties break toward the earlier registry entry) — how benches map their
+/// [num_ases] argv onto a named campaign topology.
+[[nodiscard]] const TopologyDef& nearest_topology(std::uint32_t num_ases);
+
+/// Seed for trial `trial` of a campaign on topology `topology`: the master
+/// seed, an FNV-1a hash of the topology name, and the trial index are mixed
+/// through SplitMix64, so every (campaign seed, topology, trial) triple
+/// gets an independent stream and any single trial can be regenerated
+/// without replaying the others.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t campaign_seed,
+                                       std::string_view topology,
+                                       std::uint64_t trial);
+
+/// Generates trial `trial` of the named topology: topology_params(name)
+/// with seed = trial_seed(campaign_seed, name, trial).
+[[nodiscard]] GeneratedTopology generate_trial(std::string_view name,
+                                               std::uint64_t campaign_seed,
+                                               std::uint64_t trial);
+
+}  // namespace sbgp::topology
+
+#endif  // SBGP_TOPOLOGY_REGISTRY_H

@@ -13,6 +13,17 @@
 
 namespace sbgp::util {
 
+/// SplitMix64: finalizes `x` through the avalanche permutation of Steele et
+/// al.'s splittable generator. Bijective on 64-bit values, so distinct
+/// inputs never collide — the campaign layer uses it to derive independent,
+/// individually-reproducible per-trial seeds from one master seed.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Thin wrapper around mt19937_64 with convenience draws.
 ///
 /// A wrapper (rather than a bare engine) keeps call sites uniform and makes

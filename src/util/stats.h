@@ -28,6 +28,35 @@ double fraction_below(const std::vector<double>& values, double threshold);
 /// Fraction of entries at or above `threshold`.
 double fraction_at_least(const std::vector<double>& values, double threshold);
 
+/// Streaming mean/stderr/min/max accumulator (Welford's algorithm, so the
+/// variance stays numerically stable for long series). This is what the
+/// campaign layer aggregates per-trial rows with; benches use it for
+/// mean ± stderr columns without materializing a vector first.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Mean of the sample so far (0 when empty).
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Smallest / largest value seen (0 when empty).
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  /// Unbiased sample variance / standard deviation (0 for n < 2).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean, stddev / sqrt(n) (0 for n < 2). Named
+  /// std_error because <cstdio> claims `stderr`.
+  [[nodiscard]] double std_error() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 }  // namespace sbgp::util
 
 #endif  // SBGP_UTIL_STATS_H

@@ -1,0 +1,23 @@
+// Small string helpers shared across modules.
+#ifndef SBGP_UTIL_STRINGS_H
+#define SBGP_UTIL_STRINGS_H
+
+#include <string>
+
+namespace sbgp::util {
+
+/// Joins `proj(item)` over `items` with ", " — the "available: ..." name
+/// lists every unknown-registry-name error prints.
+template <typename Range, typename Proj>
+[[nodiscard]] std::string comma_join(const Range& items, Proj proj) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += ", ";
+    out += proj(item);
+  }
+  return out;
+}
+
+}  // namespace sbgp::util
+
+#endif  // SBGP_UTIL_STRINGS_H

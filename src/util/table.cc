@@ -18,17 +18,61 @@ void Table::add_row(std::vector<std::string> row) {
   rows_.push_back(std::move(row));
 }
 
+namespace {
+
+bool is_plain_number(const std::string& cell);
+
+/// A cell the numeric-column detector accepts: an optionally signed
+/// decimal number, optionally followed by '%' (the pct() format), or the
+/// campaign tables' "mean ±stderr" compound of two such numbers.
+bool is_numeric_cell(const std::string& cell) {
+  const std::size_t pm = cell.find(" \xC2\xB1");  // " ±", UTF-8
+  if (pm != std::string::npos) {
+    return is_plain_number(cell.substr(0, pm)) &&
+           is_plain_number(cell.substr(pm + 3));
+  }
+  return is_plain_number(cell);
+}
+
+bool is_plain_number(const std::string& cell) {
+  std::size_t i = 0;
+  std::size_t end = cell.size();
+  if (end == 0) return false;
+  if (cell[end - 1] == '%') --end;
+  if (i < end && (cell[i] == '+' || cell[i] == '-')) ++i;
+  bool digits = false;
+  bool dot = false;
+  for (; i < end; ++i) {
+    if (cell[i] == '.') {
+      if (dot) return false;
+      dot = true;
+    } else if (cell[i] >= '0' && cell[i] <= '9') {
+      digits = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+}  // namespace
+
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> width(header_.size());
+  // Right-align columns whose every non-empty data cell is numeric, so the
+  // decimal points of wide campaign tables line up and stay diff-friendly.
+  std::vector<bool> numeric(header_.size(), !rows_.empty());
   for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && !is_numeric_cell(row[c])) numeric[c] = false;
     }
   }
   const auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (numeric[c] ? std::right : std::left)
+         << std::setw(static_cast<int>(width[c])) << row[c];
       if (c + 1 < row.size()) os << "  ";
     }
     os << '\n';

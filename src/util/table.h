@@ -17,7 +17,9 @@ class Table {
   /// Appends a row; must have the same arity as the header.
   void add_row(std::vector<std::string> row);
 
-  /// Renders with a header underline and two-space column gaps.
+  /// Renders with a header underline and two-space column gaps. Columns
+  /// whose every non-empty data cell is numeric (optional sign/decimal
+  /// point, optional trailing '%') are right-aligned.
   void print(std::ostream& os) const;
 
  private:

@@ -1,0 +1,260 @@
+// Campaign-layer tests: equivalence with independent suite runs on the
+// same generated topologies, thread-count determinism down to serialized
+// bytes, CSV/JSON round trips, aggregation math, and registry-naming
+// error messages.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/batch_executor.h"
+#include "sim/campaign.h"
+#include "sim/campaign_io.h"
+#include "sim/experiment.h"
+#include "topology/registry.h"
+
+namespace sbgp::sim {
+namespace {
+
+using routing::SecurityModel;
+
+/// A small mixed campaign on the tiniest registered topology: one heavy
+/// all-analyses spec next to light single-analysis specs, two scenarios.
+CampaignSpec small_campaign(std::size_t trials = 2) {
+  CampaignSpec campaign;
+  campaign.label = "test-campaign";
+  campaign.topology = "tiny-500";
+  campaign.trials = trials;
+  campaign.seed = 99;
+
+  ExperimentSpec heavy;
+  heavy.scenario = "t1-t2";
+  heavy.model = SecurityModel::kSecurityThird;
+  heavy.analyses = AnalysisSet::all();
+  heavy.num_attackers = 4;
+  heavy.num_destinations = 4;
+  campaign.experiments.push_back(heavy);
+
+  ExperimentSpec light;
+  light.scenario = "t1-stubs";
+  light.model = SecurityModel::kSecuritySecond;
+  light.analyses = Analysis::kHappiness;
+  light.num_attackers = 2;
+  light.num_destinations = 3;
+  light.sample_seed = 7;
+  campaign.experiments.push_back(light);
+
+  ExperimentSpec baseline;
+  baseline.scenario = "empty";
+  baseline.model = SecurityModel::kInsecure;
+  baseline.analyses = Analysis::kHappiness;
+  baseline.num_attackers = 3;
+  baseline.num_destinations = 2;
+  campaign.experiments.push_back(baseline);
+  return campaign;
+}
+
+TEST(Campaign, TrialRowsMatchIndependentSuiteRuns) {
+  const CampaignSpec campaign = small_campaign(2);
+  const CampaignResult result = run_campaign(campaign);
+  ASSERT_EQ(result.trial_rows.size(),
+            campaign.trials * campaign.experiments.size());
+  ASSERT_EQ(result.rows.size(), campaign.experiments.size());
+
+  for (std::size_t t = 0; t < campaign.trials; ++t) {
+    const auto topo =
+        topology::generate_trial(campaign.topology, campaign.seed, t);
+    const auto tiers = topo.classify();
+    const auto suite_rows =
+        run_experiment_suite(topo.graph, tiers, campaign.experiments);
+    ASSERT_EQ(suite_rows.size(), campaign.experiments.size());
+    for (std::size_t s = 0; s < suite_rows.size(); ++s) {
+      const auto& tr =
+          result.trial_rows[t * campaign.experiments.size() + s];
+      EXPECT_EQ(tr.trial, t);
+      EXPECT_EQ(tr.spec_index, s);
+      EXPECT_EQ(tr.topology, campaign.topology);
+      EXPECT_EQ(tr.topology_seed,
+                topology::trial_seed(campaign.seed, campaign.topology, t));
+      EXPECT_EQ(tr.row, suite_rows[s]) << "trial " << t << " spec " << s;
+    }
+  }
+}
+
+TEST(Campaign, ThreadCountIndependentDownToSerializedBytes) {
+  const CampaignSpec campaign = small_campaign(2);
+  BatchExecutor executor(6);
+
+  RunnerOptions one;
+  one.threads = 1;
+  one.executor = &executor;
+  RunnerOptions many;
+  many.threads = 6;
+  many.executor = &executor;
+
+  const CampaignResult a = run_campaign(campaign, one);
+  const CampaignResult b = run_campaign(campaign, many);
+  ASSERT_EQ(a.trial_rows.size(), b.trial_rows.size());
+  for (std::size_t i = 0; i < a.trial_rows.size(); ++i) {
+    EXPECT_EQ(a.trial_rows[i], b.trial_rows[i]) << "row " << i;
+  }
+  EXPECT_EQ(a.rows, b.rows);
+
+  const auto serialize = [](const CampaignResult& r) {
+    std::ostringstream csv;
+    write_trial_rows_csv(csv, r.trial_rows);
+    std::ostringstream json;
+    write_trial_rows_json(json, r.trial_rows);
+    std::ostringstream agg_csv;
+    write_campaign_rows_csv(agg_csv, r.rows);
+    std::ostringstream agg_json;
+    write_campaign_rows_json(agg_json, r.rows);
+    return csv.str() + json.str() + agg_csv.str() + agg_json.str();
+  };
+  EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(Campaign, TrialRowsRoundTripThroughCsvAndJson) {
+  const CampaignResult result = run_campaign(small_campaign(2));
+  ASSERT_FALSE(result.trial_rows.empty());
+
+  std::ostringstream csv;
+  write_trial_rows_csv(csv, result.trial_rows);
+  std::istringstream csv_in(csv.str());
+  EXPECT_EQ(read_trial_rows_csv(csv_in), result.trial_rows);
+
+  std::ostringstream json;
+  write_trial_rows_json(json, result.trial_rows);
+  std::istringstream json_in(json.str());
+  EXPECT_EQ(read_trial_rows_json(json_in), result.trial_rows);
+}
+
+TEST(Campaign, AggregatedRowsRoundTripThroughCsvAndJson) {
+  const CampaignResult result = run_campaign(small_campaign(3));
+  ASSERT_FALSE(result.rows.empty());
+  EXPECT_EQ(result.rows.front().trials, 3u);
+
+  std::ostringstream csv;
+  write_campaign_rows_csv(csv, result.rows);
+  std::istringstream csv_in(csv.str());
+  EXPECT_EQ(read_campaign_rows_csv(csv_in), result.rows);
+
+  std::ostringstream json;
+  write_campaign_rows_json(json, result.rows);
+  std::istringstream json_in(json.str());
+  EXPECT_EQ(read_campaign_rows_json(json_in), result.rows);
+}
+
+TEST(Campaign, ReadersRejectMalformedInput) {
+  std::istringstream bad_header("not,the,header\n");
+  EXPECT_THROW((void)read_trial_rows_csv(bad_header), std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_campaign_rows_csv(empty), std::invalid_argument);
+  std::istringstream bad_json("{\"not\": \"an array\"}");
+  EXPECT_THROW((void)read_trial_rows_json(bad_json), std::invalid_argument);
+  std::istringstream truncated("[{\"topology\": \"x\"");
+  EXPECT_THROW((void)read_trial_rows_json(truncated), std::invalid_argument);
+}
+
+TEST(Campaign, AggregationComputesMeanStderrMinMax) {
+  // Three synthetic trials of one spec with happy_lower fractions
+  // 0.2, 0.4, 0.6: mean 0.4, sample stddev 0.2, stderr 0.2/sqrt(3).
+  std::vector<CampaignTrialRow> rows;
+  for (std::size_t t = 0; t < 3; ++t) {
+    CampaignTrialRow r;
+    r.topology = "tiny-500";
+    r.trial = t;
+    r.spec_index = 0;
+    r.row.label = "synthetic";
+    r.row.stats.happiness.happy_lower = 2 * (t + 1);
+    r.row.stats.happiness.happy_upper = 2 * (t + 1);
+    r.row.stats.happiness.sources = 10;
+    rows.push_back(std::move(r));
+  }
+  const auto agg = aggregate_trial_rows(rows);
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].label, "synthetic");
+  EXPECT_EQ(agg[0].trials, 3u);
+  const auto& happy = agg[0].metrics[0];  // happy_lower
+  EXPECT_NEAR(happy.mean, 0.4, 1e-12);
+  EXPECT_NEAR(happy.std_error, 0.2 / std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(happy.min, 0.2);
+  EXPECT_DOUBLE_EQ(happy.max, 0.6);
+  // Unselected analyses aggregate to all-zero summaries.
+  EXPECT_EQ(agg[0].metrics[5], MetricSummary{});  // downgraded
+}
+
+TEST(Campaign, MetricNamesAndValuesAgree) {
+  ASSERT_EQ(campaign_metric_names().size(), kNumCampaignMetrics);
+  PairStats stats;
+  stats.partitions.doomed = 1;
+  stats.partitions.protectable = 2;
+  stats.partitions.immune = 1;
+  stats.partitions.sources = 4;
+  const auto values = campaign_metrics(stats);
+  EXPECT_DOUBLE_EQ(values[2], 0.25);  // doomed
+  EXPECT_DOUBLE_EQ(values[3], 0.50);  // protectable
+  EXPECT_DOUBLE_EQ(values[4], 0.25);  // immune
+}
+
+TEST(Campaign, RejectsBadCampaignsWithRegistryNamesInMessage) {
+  CampaignSpec unknown_topology = small_campaign(1);
+  unknown_topology.topology = "no-such-topology";
+  try {
+    (void)run_campaign(unknown_topology);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-topology"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("default-10k"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tiny-500"), std::string::npos) << msg;
+  }
+
+  CampaignSpec unknown_scenario = small_campaign(1);
+  unknown_scenario.experiments[1].scenario = "no-such-scenario";
+  try {
+    (void)run_campaign(unknown_scenario);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-scenario"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("t1-t2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("top13-t2-stubs"), std::string::npos) << msg;
+  }
+
+  CampaignSpec pinned = small_campaign(1);
+  pinned.experiments[0].attackers = {1, 2};
+  EXPECT_THROW((void)run_campaign(pinned), std::invalid_argument);
+
+  CampaignSpec no_trials = small_campaign(1);
+  no_trials.trials = 0;
+  EXPECT_THROW((void)run_campaign(no_trials), std::invalid_argument);
+
+  CampaignSpec no_specs = small_campaign(1);
+  no_specs.experiments.clear();
+  EXPECT_THROW((void)run_campaign(no_specs), std::invalid_argument);
+
+  CampaignSpec no_analyses = small_campaign(1);
+  no_analyses.experiments[0].analyses = {};
+  EXPECT_THROW((void)run_campaign(no_analyses), std::invalid_argument);
+}
+
+TEST(Campaign, BadRolloutStepSurfacesFromTrialPrep) {
+  // Out-of-range steps are only detectable once the trial's rollout is
+  // built, i.e. inside the batch — the error must still propagate.
+  CampaignSpec campaign = small_campaign(1);
+  campaign.experiments[0].rollout_step = 99;
+  BatchExecutor executor(4);
+  RunnerOptions opts;
+  opts.executor = &executor;
+  EXPECT_THROW((void)run_campaign(campaign, opts), std::invalid_argument);
+  // The executor must stay usable after the aborted batch.
+  const CampaignResult ok = run_campaign(small_campaign(1), opts);
+  EXPECT_EQ(ok.trial_rows.size(), small_campaign(1).experiments.size());
+}
+
+}  // namespace
+}  // namespace sbgp::sim

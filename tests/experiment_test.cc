@@ -148,6 +148,20 @@ TEST_F(ExperimentTest, SuiteIsThreadCountIndependent) {
   }
 }
 
+TEST_F(ExperimentTest, UnknownScenarioErrorListsAvailableNames) {
+  try {
+    (void)deployment::build_scenario("no-such-scenario", topo_.graph, tiers_,
+                                     deployment::StubMode::kFullSbgp);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-scenario"), std::string::npos) << msg;
+    for (const auto& def : deployment::scenario_registry()) {
+      EXPECT_NE(msg.find(def.name), std::string::npos) << msg;
+    }
+  }
+}
+
 TEST_F(ExperimentTest, RejectsBadSpecs) {
   ExperimentSpec unknown;
   unknown.scenario = "no-such-scenario";

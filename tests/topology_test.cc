@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "topology/as_graph.h"
 #include "topology/generator.h"
 #include "topology/io.h"
 #include "topology/ixp.h"
+#include "topology/registry.h"
 #include "topology/tier.h"
 #include "util/rng.h"
 
@@ -296,6 +299,64 @@ TEST(Stats, ComputeStatsCountsStubs) {
   const auto stats = compute_stats(b.build());
   EXPECT_EQ(stats.num_stubs, 2u);
   EXPECT_EQ(stats.max_customer_degree, 2u);
+}
+
+TEST(Registry, CoversDocumentedTopologies) {
+  ASSERT_FALSE(topology_registry().empty());
+  for (const char* name : {"default-10k", "bench-8k", "small-2k", "tiny-500",
+                           "peering-rich"}) {
+    const auto* def = find_topology(name);
+    ASSERT_NE(def, nullptr) << name;
+    EXPECT_EQ(def->name, name);
+    EXPECT_FALSE(def->description.empty());
+    EXPECT_GT(def->params.num_ases, 0u);
+  }
+  EXPECT_EQ(find_topology("no-such-topology"), nullptr);
+  EXPECT_EQ(topology_params("tiny-500").num_ases, 500u);
+}
+
+TEST(Registry, UnknownTopologyErrorListsAvailableNames) {
+  try {
+    (void)topology_params("no-such-topology");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-topology"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("default-10k"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("peering-rich"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, NearestTopologyPicksClosestSize) {
+  EXPECT_EQ(nearest_topology(450).name, "tiny-500");
+  EXPECT_EQ(nearest_topology(2100).name, "small-2k");
+  EXPECT_EQ(nearest_topology(7500).name, "bench-8k");
+  EXPECT_EQ(nearest_topology(1'000'000).name, "default-10k");
+}
+
+TEST(Registry, TrialSeedsAreDeterministicAndDistinct) {
+  const auto s00 = trial_seed(42, "tiny-500", 0);
+  EXPECT_EQ(s00, trial_seed(42, "tiny-500", 0));
+  // Distinct trials, topologies, and campaign seeds give distinct streams.
+  EXPECT_NE(s00, trial_seed(42, "tiny-500", 1));
+  EXPECT_NE(s00, trial_seed(42, "small-2k", 0));
+  EXPECT_NE(s00, trial_seed(43, "tiny-500", 0));
+}
+
+TEST(Registry, GenerateTrialIsReproducibleInIsolation) {
+  const auto a = generate_trial("tiny-500", 7, 1);
+  const auto b = generate_trial("tiny-500", 7, 1);  // no trial 0 needed
+  const auto stats_a = compute_stats(a.graph);
+  const auto stats_b = compute_stats(b.graph);
+  EXPECT_EQ(stats_a.num_ases, stats_b.num_ases);
+  EXPECT_EQ(stats_a.cp_links, stats_b.cp_links);
+  EXPECT_EQ(stats_a.peer_links, stats_b.peer_links);
+  EXPECT_EQ(a.tier1, b.tier1);
+  // A different trial of the same campaign draws a different graph.
+  const auto other = generate_trial("tiny-500", 7, 2);
+  const auto stats_other = compute_stats(other.graph);
+  EXPECT_TRUE(stats_other.cp_links != stats_a.cp_links ||
+              stats_other.peer_links != stats_a.peer_links);
 }
 
 }  // namespace

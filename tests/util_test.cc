@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "util/as_set.h"
 #include "util/chart.h"
+#include "util/csv.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -94,6 +96,14 @@ TEST(Rng, ParetoRejectsBadParams) {
   EXPECT_THROW(rng.pareto_int(1, 0.0), std::invalid_argument);
 }
 
+TEST(Rng, Splitmix64MatchesReferenceVector) {
+  // First outputs of the reference splitmix64 stream seeded with 0.
+  EXPECT_EQ(splitmix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(splitmix64(1), 0x910A2DEC89025CC1ull);
+  // Bijective finalizer: nearby inputs land far apart.
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
 TEST(AsSet, InsertEraseContains) {
   AsSet s(10);
   EXPECT_FALSE(s.contains(3));
@@ -160,6 +170,58 @@ TEST(Stats, Fractions) {
   EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
 }
 
+TEST(Stats, AccumulatorMatchesSummarize) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  Accumulator acc;
+  for (const double x : v) acc.add(x);
+  const auto s = summarize(v);
+  EXPECT_EQ(acc.count(), s.n);
+  EXPECT_DOUBLE_EQ(acc.mean(), s.mean);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+  EXPECT_NEAR(acc.std_error(), s.stddev / std::sqrt(4.0), 1e-12);
+}
+
+TEST(Stats, AccumulatorDegenerateSamples) {
+  Accumulator empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.std_error(), 0.0);
+
+  Accumulator one;
+  one.add(-3.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(one.min(), -3.5);
+  EXPECT_DOUBLE_EQ(one.max(), -3.5);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.std_error(), 0.0);
+}
+
+TEST(Csv, FieldQuotingRoundTrips) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  const std::vector<std::string> fields{"plain", "a,b", "say \"hi\"", ""};
+  EXPECT_EQ(split_csv_line(csv_line(fields)), fields);
+  EXPECT_THROW((void)split_csv_line("\"unterminated"), std::invalid_argument);
+  // Line-based readers cannot round-trip embedded newlines; the writer
+  // must reject them rather than emit an unreadable file.
+  EXPECT_THROW((void)csv_field("a\nb"), std::invalid_argument);
+}
+
+TEST(Csv, DoubleFormattingRoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, -2.5e-17, 12345.678901234567}) {
+    EXPECT_EQ(parse_double(format_double(v)), v);
+  }
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_THROW((void)parse_u64("12x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double(""), std::invalid_argument);
+}
+
 TEST(Table, AlignsColumns) {
   Table t({"name", "value"});
   t.add_row({"x", "1"});
@@ -180,6 +242,42 @@ TEST(Table, RejectsArityMismatch) {
 TEST(Table, Formatting) {
   EXPECT_EQ(pct(0.613), "61.3%");
   EXPECT_EQ(fixed(1.23456, 2), "1.23");
+}
+
+TEST(Table, RightAlignsNumericColumns) {
+  Table t({"name", "count", "share"});
+  t.add_row({"x", "7", "61.3%"});
+  t.add_row({"longer", "12345", "-0.5%"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  // Numeric columns pad on the left: the short count sits flush against
+  // the column end, directly above the long value's last digit.
+  EXPECT_NE(text.find("x           7"), std::string::npos) << text;
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  // The string column stays left-aligned.
+  EXPECT_EQ(text.find("name"), 0u);
+}
+
+TEST(Table, MeanStderrCellsCountAsNumeric) {
+  Table t({"metric"});
+  t.add_row({"0.613 ±0.004"});
+  t.add_row({"21.9% ±0.4%"});
+  std::ostringstream os;
+  t.print(os);
+  // Right-aligned: the shorter cell is padded on the left.
+  EXPECT_NE(os.str().find(" 21.9% ±0.4%"), std::string::npos) << os.str();
+}
+
+TEST(Table, MixedColumnStaysLeftAligned) {
+  Table t({"col"});
+  t.add_row({"12"});
+  t.add_row({"not-a-number"});
+  std::ostringstream os;
+  t.print(os);
+  // "12" would be right-aligned if the column were numeric; with a
+  // non-numeric cell present it must stay left-aligned.
+  EXPECT_NE(os.str().find("12          "), std::string::npos) << os.str();
 }
 
 TEST(Chart, StackedBarsRenderProportionally) {
