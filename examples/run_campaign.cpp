@@ -8,16 +8,52 @@
 // stdout. After writing, the files are read back and compared to the
 // in-memory rows, so a serialization regression fails the run loudly.
 //
+// With --cache-dir, computed rows persist to a campaign result cache
+// (sim/campaign_cache.h) and later identical runs serve every (trial,
+// spec) cell from it without touching the engine; --expect-cached turns a
+// cache miss into a failure — how CI asserts its warm re-run was free.
+//
 //   ./example_run_campaign [topology] [trials] [samples] [csv] [json]
+//                          [--cache-dir DIR] [--expect-cached] [--help]
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
+#include "deployment/scenario.h"
 #include "sim/campaign.h"
 #include "sim/campaign_io.h"
+#include "topology/registry.h"
 #include "util/table.h"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: example_run_campaign [topology] [trials] [samples]"
+        " [csv] [json]\n"
+        "                            [--cache-dir DIR] [--expect-cached]"
+        " [--help]\n"
+        "\n"
+        "  topology   registered topology name (default small-2k)\n"
+        "  trials     number of generated topologies (default 2)\n"
+        "  samples    attackers and destinations per spec (default 8)\n"
+        "  csv, json  write per-trial rows to these paths and verify the\n"
+        "             round trip\n"
+        "  --cache-dir DIR   persist/serve per-trial rows from a campaign\n"
+        "                    result cache under DIR\n"
+        "  --expect-cached   fail unless every (trial, spec) cell was a\n"
+        "                    cache hit (no engine work)\n"
+        "\n"
+        "registered topologies:\n";
+  for (const auto& def : sbgp::topology::topology_registry()) {
+    os << "  " << def.name << "  —  " << def.description << '\n';
+  }
+  os << "registered scenarios: " << sbgp::deployment::scenario_names() << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sbgp;
@@ -26,11 +62,76 @@ int main(int argc, char** argv) {
   campaign.trials = 2;
   campaign.seed = 20130812;
   std::size_t samples = 8;
-  if (argc > 1) campaign.topology = argv[1];
-  if (argc > 2) campaign.trials = std::strtoul(argv[2], nullptr, 10);
-  if (argc > 3) samples = std::strtoul(argv[3], nullptr, 10);
-  const std::string csv_path = argc > 4 ? argv[4] : "";
-  const std::string json_path = argc > 5 ? argv[5] : "";
+  bool expect_cached = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--expect-cached") {
+      expect_cached = true;
+      continue;
+    }
+    if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --cache-dir needs a directory argument\n\n";
+        print_usage(std::cerr);
+        return 2;
+      }
+      campaign.cache_dir = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown option '" << arg << "'\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    positional.push_back(arg);
+  }
+  if (positional.size() > 5) {
+    std::cerr << "error: too many arguments\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  const auto parse_count = [&](const std::string& arg, const char* what,
+                               std::size_t& out) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' || v == 0 || errno == ERANGE ||
+        v > 1'000'000'000ul) {
+      std::cerr << "error: " << what
+                << " must be a positive integer (at most 1e9), got '" << arg
+                << "'\n\n";
+      print_usage(std::cerr);
+      return false;
+    }
+    out = v;
+    return true;
+  };
+  if (!positional.empty()) campaign.topology = positional[0];
+  if (positional.size() > 1 &&
+      !parse_count(positional[1], "trials", campaign.trials)) {
+    return 2;
+  }
+  if (positional.size() > 2 &&
+      !parse_count(positional[2], "samples", samples)) {
+    return 2;
+  }
+  const std::string csv_path = positional.size() > 3 ? positional[3] : "";
+  const std::string json_path = positional.size() > 4 ? positional[4] : "";
+  if (topology::find_topology(campaign.topology) == nullptr) {
+    std::cerr << "error: unknown topology '" << campaign.topology << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (expect_cached && campaign.cache_dir.empty()) {
+    std::cerr << "error: --expect-cached needs --cache-dir\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
 
   const auto spec_for = [&](const char* scenario,
                             routing::SecurityModel model,
@@ -77,6 +178,17 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  if (!campaign.cache_dir.empty()) {
+    std::cout << "\ncache: " << result.cache_hits << " hit(s), "
+              << result.cache_misses << " miss(es) in " << campaign.cache_dir
+              << '\n';
+    if (expect_cached && result.cache_misses != 0) {
+      std::cerr << "FAIL: --expect-cached, but " << result.cache_misses
+                << " cell(s) missed the cache and ran on the engine\n";
+      return 1;
+    }
+  }
+
   // Serialize, re-read, and verify: a campaign result must survive both
   // formats byte-exactly.
   if (!csv_path.empty()) {
@@ -88,7 +200,7 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: CSV round trip mismatch\n";
       return 1;
     }
-    std::cout << "\nwrote per-trial rows: " << csv_path
+    std::cout << "wrote per-trial rows: " << csv_path
               << " (round trip verified)\n";
   }
   if (!json_path.empty()) {

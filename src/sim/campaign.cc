@@ -6,10 +6,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/batch_executor.h"
+#include "sim/campaign_cache.h"
 #include "topology/registry.h"
 #include "util/strings.h"
 
@@ -136,38 +138,81 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
   const std::size_t num_trials = campaign.trials;
   const std::size_t num_specs = campaign.experiments.size();
   const std::size_t num_cells = num_trials * num_specs;
-
-  // Unit layout of the single submission: indices [0, T) prepare trial t
-  // (generate + classify + resolve every spec); the rest are per-pair
-  // units, one (trial, spec) cell after another, each cell spanning the
-  // requested attackers x destinations grid. Grid slots that sampling left
-  // empty or where attacker == destination are skipped, exactly like
-  // make_attack_pairs. Prep units sit at the lowest indices and chunks are
-  // handed out in index order, so every prep is claimed (and being
-  // executed) before any worker can block on its trial's readiness —
-  // pair analysis of trial t overlaps generation of trials t+1...
-  std::vector<std::size_t> cell_end(num_cells);
-  {
-    std::size_t unit = num_trials;
-    for (std::size_t cell = 0; cell < num_cells; ++cell) {
-      const auto& spec = campaign.experiments[cell % num_specs];
-      unit += spec.num_attackers * spec.num_destinations;
-      cell_end[cell] = unit;
-    }
-  }
-  const std::size_t total_units =
-      cell_end.empty() ? num_trials : cell_end.back();
+  constexpr std::size_t kNotActive = static_cast<std::size_t>(-1);
 
   std::vector<TrialState> states(num_trials);
   for (std::size_t t = 0; t < num_trials; ++t) {
     states[t].seed = topology::trial_seed(campaign.seed, campaign.topology, t);
   }
 
+  // Cache consult: every (trial, spec) cell whose row is already stored
+  // under (topology fingerprint, trial seed, spec fingerprint) skips
+  // straight to row emission — it contributes no prep and no pair units,
+  // and a trial whose every cell hits is never even generated.
+  std::unique_ptr<CampaignCache> cache;
+  std::vector<CacheKey> keys(num_cells);
+  std::vector<std::optional<ExperimentRow>> cached(num_cells);
+  if (!campaign.cache_dir.empty()) {
+    cache = std::make_unique<CampaignCache>(campaign.cache_dir);
+    const std::uint64_t topo_fp = topology::spec_fingerprint(
+        topology::topology_params(campaign.topology));
+    std::vector<std::uint64_t> spec_fps(num_specs);
+    for (std::size_t s = 0; s < num_specs; ++s) {
+      spec_fps[s] = spec_fingerprint(campaign.experiments[s]);
+    }
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      keys[cell] = {topo_fp, states[cell / num_specs].seed,
+                    spec_fps[cell % num_specs]};
+      cached[cell] = cache->lookup(keys[cell]);
+    }
+  }
+
+  // The cells and trials that still need engine work.
+  std::vector<std::size_t> active_cells;
+  std::vector<std::size_t> active_index(num_cells, kNotActive);
+  active_cells.reserve(num_cells);
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    if (!cached[cell].has_value()) {
+      active_index[cell] = active_cells.size();
+      active_cells.push_back(cell);
+    }
+  }
+  std::vector<std::size_t> active_trials;
+  {
+    std::vector<char> needed(num_trials, 0);
+    for (const std::size_t cell : active_cells) needed[cell / num_specs] = 1;
+    for (std::size_t t = 0; t < num_trials; ++t) {
+      if (needed[t] != 0) active_trials.push_back(t);
+    }
+  }
+  const std::size_t num_prep = active_trials.size();
+
+  // Unit layout of the single submission: indices [0, num_prep) prepare
+  // the active trials (generate + classify + resolve every spec); the rest
+  // are per-pair units, one active (trial, spec) cell after another, each
+  // cell spanning the requested attackers x destinations grid. Grid slots
+  // that sampling left empty or where attacker == destination are skipped,
+  // exactly like make_attack_pairs. Prep units sit at the lowest indices
+  // and chunks are handed out in index order, so every prep is claimed
+  // (and being executed) before any worker can block on its trial's
+  // readiness — pair analysis of trial t overlaps generation of trials
+  // t+1...
+  std::vector<std::size_t> cell_end(active_cells.size());
+  {
+    std::size_t unit = num_prep;
+    for (std::size_t k = 0; k < active_cells.size(); ++k) {
+      const auto& spec = campaign.experiments[active_cells[k] % num_specs];
+      unit += spec.num_attackers * spec.num_destinations;
+      cell_end[k] = unit;
+    }
+  }
+  const std::size_t total_units = cell_end.empty() ? num_prep : cell_end.back();
+
   BatchExecutor& exec =
       opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
   const std::size_t workers = exec.effective_workers(opts.threads);
   std::vector<std::vector<PairStats>> accs(
-      workers, std::vector<PairStats>(num_cells));
+      workers, std::vector<PairStats>(active_cells.size()));
 
   // Readiness handshake: pair units of a not-yet-prepared trial block on
   // ready_cv rather than spinning (this box may oversubscribe cores). A
@@ -179,16 +224,22 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
 
   const auto task = [&](std::size_t worker, std::size_t unit) {
     try {
-      if (unit < num_trials) {
-        TrialState& st = states[unit];
+      if (unit < num_prep) {
+        const std::size_t trial = active_trials[unit];
+        TrialState& st = states[trial];
         st.topo = topology::generate_trial(campaign.topology, campaign.seed,
-                                           unit);
+                                           trial);
         st.tiers = st.topo.classify();
         st.resolver = std::make_unique<ExperimentResolver>(st.topo.graph,
                                                            st.tiers);
-        st.resolved.reserve(num_specs);
-        for (const auto& spec : campaign.experiments) {
-          st.resolved.push_back(st.resolver->resolve(spec));
+        // Resolve only the specs this trial still runs: cached cells never
+        // read their ResolvedExperiment slot, so a placeholder suffices
+        // and a partially-warm trial skips the dead rollout/sampling work.
+        st.resolved.resize(num_specs);
+        for (std::size_t s = 0; s < num_specs; ++s) {
+          if (!cached[trial * num_specs + s].has_value()) {
+            st.resolved[s] = st.resolver->resolve(campaign.experiments[s]);
+          }
         }
         {
           const std::lock_guard<std::mutex> lock(ready_mutex);
@@ -197,9 +248,10 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
         ready_cv.notify_all();
         return;
       }
-      const std::size_t cell = static_cast<std::size_t>(
+      const std::size_t k = static_cast<std::size_t>(
           std::upper_bound(cell_end.begin(), cell_end.end(), unit) -
           cell_end.begin());
+      const std::size_t cell = active_cells[k];
       const std::size_t trial = cell / num_specs;
       TrialState& st = states[trial];
       if (!st.ready.load(std::memory_order_acquire)) {
@@ -210,8 +262,7 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
         });
       }
       if (abort.load(std::memory_order_relaxed)) return;
-      const std::size_t cell_begin =
-          cell == 0 ? num_trials : cell_end[cell - 1];
+      const std::size_t cell_begin = k == 0 ? num_prep : cell_end[k - 1];
       const std::size_t slot = unit - cell_begin;
       const ResolvedExperiment& re = st.resolved[cell % num_specs];
       const std::size_t grid_cols =
@@ -222,7 +273,7 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
       if (re.attackers[a] == re.destinations[d]) return;
       accumulate_pair_into(st.topo.graph, re.destinations[d], re.attackers[a],
                            re.cfg, *re.deployment, exec.workspace(worker),
-                           accs[worker][cell]);
+                           accs[worker][k]);
     } catch (...) {
       // The store must happen under the mutex, or a waiter between its
       // predicate check and its sleep would miss this (final) wakeup.
@@ -242,23 +293,44 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
   result.topology = campaign.topology;
   result.seed = campaign.seed;
   result.trial_rows.reserve(num_cells);
+  bool store_failed = false;
   for (std::size_t t = 0; t < num_trials; ++t) {
     for (std::size_t s = 0; s < num_specs; ++s) {
+      const std::size_t cell = t * num_specs + s;
       CampaignTrialRow tr;
       tr.topology = campaign.topology;
       tr.trial = t;
       tr.topology_seed = states[t].seed;
       tr.spec_index = s;
-      tr.row = states[t].resolved[s].header;
-      // Merge per-worker integer partials in worker order — bit-for-bit
-      // identical for any worker count, and identical to analyze_pairs.
-      for (std::size_t w = 0; w < workers; ++w) {
-        tr.row.stats += accs[w][t * num_specs + s];
+      if (cached[cell].has_value()) {
+        tr.row = std::move(*cached[cell]);
+      } else {
+        tr.row = states[t].resolved[s].header;
+        // Merge per-worker integer partials in worker order — bit-for-bit
+        // identical for any worker count, and identical to analyze_pairs.
+        for (std::size_t w = 0; w < workers; ++w) {
+          tr.row.stats += accs[w][active_index[cell]];
+        }
+        if (cache != nullptr && !store_failed) {
+          // A failed store (full disk, permissions) must not discard the
+          // result — all engine work is already done. Skip the remaining
+          // stores (the same failure would repeat) and return the rows;
+          // the next run simply recomputes what was not persisted.
+          try {
+            cache->store(keys[cell], tr);
+          } catch (const std::runtime_error&) {
+            store_failed = true;
+          }
+        }
       }
       result.trial_rows.push_back(std::move(tr));
     }
   }
   result.rows = aggregate_trial_rows(result.trial_rows);
+  if (cache != nullptr) {
+    result.cache_hits = cache->stats().hits;
+    result.cache_misses = cache->stats().misses;
+  }
   return result;
 }
 

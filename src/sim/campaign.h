@@ -46,6 +46,13 @@ struct CampaignSpec {
   std::size_t trials = 3;
   std::uint64_t seed = 20130812;  // master seed -> per-trial topology seeds
   std::vector<ExperimentSpec> experiments;
+  /// When non-empty, a CampaignCache directory (sim/campaign_cache.h):
+  /// run_campaign consults it per (trial, spec) cell before enqueuing the
+  /// cell's pair grid — hits skip engine work entirely (a trial whose
+  /// every cell hits is not even generated) — and persists every computed
+  /// row after the run. Rows served from cache are byte-identical to
+  /// recomputed ones (the store round-trips raw integer counters).
+  std::string cache_dir;
 };
 
 /// One (trial, experiment spec) result: the same row run_experiment_suite
@@ -108,6 +115,11 @@ struct CampaignResult {
   std::uint64_t seed = 0;
   std::vector<CampaignTrialRow> trial_rows;
   std::vector<CampaignRow> rows;
+  /// Cache outcome of this run (both 0 when CampaignSpec::cache_dir was
+  /// empty): hits + misses == trials x experiments, and misses is exactly
+  /// the number of (trial, spec) cells that ran on the engine.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 /// Groups per-trial rows by spec index and summarizes every derived metric
@@ -118,10 +130,11 @@ struct CampaignResult {
     const std::vector<CampaignTrialRow>& trial_rows);
 
 /// Runs the whole campaign on one BatchExecutor submission (see file
-/// comment). Throws std::invalid_argument — naming the registered
-/// topologies / scenarios — on unknown names, and on empty trial or
-/// experiment lists, explicit attacker/destination AS lists, empty
-/// analysis sets, or out-of-range rollout steps.
+/// comment), consulting the result cache first when cache_dir is set.
+/// Throws std::invalid_argument — naming the registered topologies /
+/// scenarios — on unknown names, and on empty trial or experiment lists,
+/// explicit attacker/destination AS lists, empty analysis sets, or
+/// out-of-range rollout steps.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& campaign,
                                           const RunnerOptions& opts = {});
 

@@ -1,0 +1,108 @@
+#include "sim/campaign_cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/campaign_io.h"
+
+namespace sbgp::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[(v >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cache_entry_name(const CacheKey& key) {
+  return "t" + hex64(key.topology_fingerprint) + "-s" + hex64(key.trial_seed) +
+         "-e" + hex64(key.spec_fingerprint) + ".csv";
+}
+
+CampaignCache::CampaignCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("CampaignCache: cannot create cache directory '" +
+                             dir_ + "': " + ec.message());
+  }
+}
+
+std::optional<ExperimentRow> CampaignCache::lookup(const CacheKey& key) {
+  const fs::path path = fs::path(dir_) / cache_entry_name(key);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::vector<CampaignTrialRow> rows;
+  try {
+    rows = read_trial_rows_csv(in);
+  } catch (const std::invalid_argument&) {
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // An entry must hold exactly the one row its name promises, and the
+  // row's own seed column must agree with the key — anything else is a
+  // truncated, hand-edited, or misplaced file, and recomputing is cheaper
+  // than trusting it.
+  if (rows.size() != 1 || rows.front().topology_seed != key.trial_seed) {
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return std::move(rows.front().row);
+}
+
+void CampaignCache::store(const CacheKey& key, const CampaignTrialRow& row) {
+  const fs::path path = fs::path(dir_) / cache_entry_name(key);
+  // Temp name unique per process *and* per store call (two threads can
+  // miss and store the same key); rename() is atomic within a filesystem,
+  // so concurrent writers of the same key race benignly (same contents).
+  static std::atomic<std::uint64_t> store_serial{0};
+  const std::string tmp_name =
+      cache_entry_name(key) + ".tmp" + std::to_string(::getpid()) + "." +
+      std::to_string(store_serial.fetch_add(1, std::memory_order_relaxed));
+  const fs::path tmp = fs::path(dir_) / tmp_name;
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) {
+      throw std::runtime_error("CampaignCache: cannot write '" +
+                               tmp.string() + "'");
+    }
+    write_trial_rows_csv(out, {row});
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("CampaignCache: write failed for '" +
+                               tmp.string() + "'");
+    }
+  }
+  std::error_code rename_ec;
+  fs::rename(tmp, path, rename_ec);
+  if (rename_ec) {
+    std::error_code cleanup_ec;
+    fs::remove(tmp, cleanup_ec);
+    throw std::runtime_error("CampaignCache: cannot install entry '" +
+                             path.string() + "': " + rename_ec.message());
+  }
+  ++stats_.stores;
+}
+
+}  // namespace sbgp::sim

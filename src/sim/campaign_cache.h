@@ -1,0 +1,87 @@
+// Content-addressed store of campaign per-trial result rows.
+//
+// A campaign trial row is fully determined by three values: the generator
+// configuration (what graph family), the trial's derived topology seed
+// (which graph), and the experiment spec (what was measured on it) — the
+// engine is deterministic in all three. Keying rows on the stable
+// fingerprints of that triple (topology/registry.h and sim/experiment.h
+// spec_fingerprint(), util/hash.h) makes re-running an unchanged campaign
+// free: run_campaign consults the cache before enqueuing a (trial, spec)
+// grid slice, hits skip straight to row emission, and misses run and then
+// persist. Because per-trial rows are raw integer counters serialized
+// losslessly (sim/campaign_io.h), a warm re-run emits bytes identical to
+// the cold run — the property the CI regression gate asserts.
+//
+// Layout: one CSV file per row under the cache directory, named
+// t<topology-fp>-s<trial-seed>-e<spec-fp>.csv (hex), each holding the
+// standard per-trial header plus exactly one row. Files are written to a
+// temporary name and renamed into place, so a crashed or concurrent writer
+// never leaves a half-written entry under a valid key. Entries that fail
+// to parse, hold the wrong row count, or disagree with their key are
+// rejected (counted, treated as misses) rather than served.
+#ifndef SBGP_SIM_CAMPAIGN_CACHE_H
+#define SBGP_SIM_CAMPAIGN_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/campaign.h"
+
+namespace sbgp::sim {
+
+/// The (topology fingerprint, trial topology seed, spec fingerprint)
+/// triple that fully determines one per-trial row.
+struct CacheKey {
+  std::uint64_t topology_fingerprint = 0;
+  std::uint64_t trial_seed = 0;
+  std::uint64_t spec_fingerprint = 0;
+
+  [[nodiscard]] bool operator==(const CacheKey&) const = default;
+};
+
+/// File name of a key's cache entry (relative to the cache directory).
+[[nodiscard]] std::string cache_entry_name(const CacheKey& key);
+
+/// A directory of per-trial rows keyed by CacheKey. Lookup/store are safe
+/// against concurrent writers of the same directory (atomic rename), but a
+/// single CampaignCache object is not itself thread-safe.
+class CampaignCache {
+ public:
+  /// Opens (creating if needed) the cache directory. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit CampaignCache(std::string dir);
+
+  CampaignCache(const CampaignCache&) = delete;
+  CampaignCache& operator=(const CampaignCache&) = delete;
+
+  /// Returns the stored experiment row for `key`, or nullopt on a miss.
+  /// Entries that cannot be parsed, hold more or less than one row, or
+  /// whose row disagrees with the key's trial seed are rejected: counted
+  /// in stats().corrupt and reported as a miss, never served.
+  [[nodiscard]] std::optional<ExperimentRow> lookup(const CacheKey& key);
+
+  /// Persists one computed trial row under `key` (write-to-temp + rename,
+  /// so readers never observe a partial entry). Throws std::runtime_error
+  /// on I/O failure.
+  void store(const CacheKey& key, const CampaignTrialRow& row);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;   // includes corrupt entries
+    std::size_t corrupt = 0;  // rejected (unparseable / key-mismatched)
+    std::size_t stores = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+  Stats stats_;
+};
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_CAMPAIGN_CACHE_H

@@ -377,26 +377,39 @@ std::string read_line(std::istream& is, bool& ok) {
 
 // --- per-trial rows --------------------------------------------------------
 
+const std::vector<std::string>& trial_row_columns() {
+  static const std::vector<std::string> columns = [] {
+    std::vector<std::string> names;
+    names.reserve(kIdNames.size() + kCounterNames.size());
+    for (const auto name : kIdNames) names.emplace_back(name);
+    for (const auto name : kCounterNames) names.emplace_back(name);
+    return names;
+  }();
+  return columns;
+}
+
+std::vector<std::string> trial_row_values(const CampaignTrialRow& r) {
+  std::vector<std::string> fields;
+  fields.reserve(trial_row_columns().size());
+  fields.push_back(r.topology);
+  fields.push_back(std::to_string(r.trial));
+  fields.push_back(std::to_string(r.topology_seed));
+  fields.push_back(std::to_string(r.spec_index));
+  fields.push_back(r.row.label);
+  fields.push_back(r.row.step_label);
+  fields.emplace_back(to_string(r.row.model));
+  fields.push_back(r.row.hysteresis ? "1" : "0");
+  for (const auto* slot : counter_slots(r)) {
+    fields.push_back(std::to_string(*slot));
+  }
+  return fields;
+}
+
 void write_trial_rows_csv(std::ostream& os,
                           const std::vector<CampaignTrialRow>& rows) {
-  std::vector<std::string> fields;
-  for (const auto name : kIdNames) fields.emplace_back(name);
-  for (const auto name : kCounterNames) fields.emplace_back(name);
-  os << csv_line(fields) << '\n';
+  os << csv_line(trial_row_columns()) << '\n';
   for (const auto& r : rows) {
-    fields.clear();
-    fields.push_back(r.topology);
-    fields.push_back(std::to_string(r.trial));
-    fields.push_back(std::to_string(r.topology_seed));
-    fields.push_back(std::to_string(r.spec_index));
-    fields.push_back(r.row.label);
-    fields.push_back(r.row.step_label);
-    fields.emplace_back(to_string(r.row.model));
-    fields.push_back(r.row.hysteresis ? "1" : "0");
-    for (const auto* slot : counter_slots(r)) {
-      fields.push_back(std::to_string(*slot));
-    }
-    os << csv_line(fields) << '\n';
+    os << csv_line(trial_row_values(r)) << '\n';
   }
 }
 
@@ -406,9 +419,7 @@ std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
   if (!ok) {
     throw std::invalid_argument("read_trial_rows_csv: empty input");
   }
-  std::vector<std::string> expected;
-  for (const auto name : kIdNames) expected.emplace_back(name);
-  for (const auto name : kCounterNames) expected.emplace_back(name);
+  const std::vector<std::string>& expected = trial_row_columns();
   if (split_csv_line(header) != expected) {
     throw std::invalid_argument("read_trial_rows_csv: header mismatch");
   }

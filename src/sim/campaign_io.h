@@ -12,6 +12,7 @@
 #define SBGP_SIM_CAMPAIGN_IO_H
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/campaign.h"
@@ -19,6 +20,18 @@
 namespace sbgp::sim {
 
 // --- per-trial rows --------------------------------------------------------
+
+/// Column names of the per-trial row schema in serialization order — the
+/// CSV header fields / JSON object keys. Shared by the writers, the
+/// header-checking readers, and the baseline differ (campaign_diff.h).
+[[nodiscard]] const std::vector<std::string>& trial_row_columns();
+
+/// One row's values as strings aligned with trial_row_columns(): exactly
+/// the fields write_trial_rows_csv emits (integer counters in exact
+/// decimal), so two rows are byte-identical in serialized form iff their
+/// value vectors are equal.
+[[nodiscard]] std::vector<std::string> trial_row_values(
+    const CampaignTrialRow& row);
 
 void write_trial_rows_csv(std::ostream& os,
                           const std::vector<CampaignTrialRow>& rows);

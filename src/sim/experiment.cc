@@ -1,9 +1,11 @@
 #include "sim/experiment.h"
 
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "sim/runner.h"
+#include "util/hash.h"
 
 namespace sbgp::sim {
 
@@ -21,6 +23,34 @@ std::string compose_label(const ExperimentSpec& spec,
 }
 
 }  // namespace
+
+std::uint64_t spec_fingerprint(const ExperimentSpec& spec) {
+  util::Fingerprint fp;
+  fp.mix(std::string_view(spec.label))
+      .mix(std::string_view(spec.scenario))
+      .mix(static_cast<std::uint64_t>(spec.rollout_step))
+      .mix(static_cast<std::uint64_t>(spec.stub_mode))
+      .mix(static_cast<std::uint64_t>(spec.model))
+      .mix(static_cast<std::uint64_t>(spec.lp.kind))
+      .mix(static_cast<std::uint64_t>(spec.lp.k));
+  std::uint64_t analysis_bits = 0;
+  std::uint64_t bit = 1;
+  for (const Analysis a : {Analysis::kHappiness, Analysis::kPartitions,
+                           Analysis::kDowngrades, Analysis::kCollateral,
+                           Analysis::kRootCause}) {
+    if (spec.analyses.contains(a)) analysis_bits |= bit;
+    bit <<= 1;
+  }
+  fp.mix(analysis_bits).mix(spec.hysteresis);
+  fp.mix(static_cast<std::uint64_t>(spec.attackers.size()));
+  for (const AsId a : spec.attackers) fp.mix(static_cast<std::uint64_t>(a));
+  fp.mix(static_cast<std::uint64_t>(spec.destinations.size()));
+  for (const AsId d : spec.destinations) fp.mix(static_cast<std::uint64_t>(d));
+  return fp.mix(static_cast<std::uint64_t>(spec.num_attackers))
+      .mix(static_cast<std::uint64_t>(spec.num_destinations))
+      .mix(spec.sample_seed)
+      .value();
+}
 
 ResolvedExperiment ExperimentResolver::resolve(const ExperimentSpec& spec) {
   if (spec.analyses.empty()) {

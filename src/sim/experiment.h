@@ -57,6 +57,13 @@ struct ExperimentSpec {
   std::uint64_t sample_seed = 4242;
 };
 
+/// Stable 64-bit fingerprint of an experiment spec (util::Fingerprint over
+/// every field, in declaration order — including the label, which is
+/// emitted into result rows). Identical across processes and platforms;
+/// any single-field change yields a different value. The spec half of a
+/// campaign-cache key (sim/campaign_cache.h).
+[[nodiscard]] std::uint64_t spec_fingerprint(const ExperimentSpec& spec);
+
 /// One result row of a suite run.
 struct ExperimentRow {
   std::string label;       // spec label (or the composed default)

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -47,16 +48,6 @@ const std::vector<TopologyDef>& registry() {
 std::string known_names() {
   return util::comma_join(registry(),
                           [](const TopologyDef& def) { return def.name; });
-}
-
-/// FNV-1a, so the topology name perturbs the seed stream deterministically.
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h;
 }
 
 }  // namespace
@@ -108,10 +99,31 @@ const TopologyDef& nearest_topology(std::uint32_t num_ases) {
   return *best;  // the registry is never empty
 }
 
+std::uint64_t spec_fingerprint(const GeneratorParams& params) {
+  return util::Fingerprint()
+      .mix(static_cast<std::uint64_t>(params.num_ases))
+      .mix(static_cast<std::uint64_t>(params.num_tier1))
+      .mix(static_cast<std::uint64_t>(params.num_tier2))
+      .mix(static_cast<std::uint64_t>(params.num_tier3))
+      .mix(static_cast<std::uint64_t>(params.num_content_providers))
+      .mix(params.stub_fraction)
+      .mix(params.stub_x_fraction)
+      .mix(params.tier1_stub_fraction)
+      .mix(params.t2_peer_prob)
+      .mix(params.t3_peer_prob)
+      .mix(params.t2_t3_peer_prob)
+      .mix(params.smdg_mean_peers)
+      .mix(params.cp_t2_peer_prob)
+      .mix(params.cp_t3_peer_prob)
+      .mix(params.cp_cp_peer_prob)
+      .mix(params.seed)
+      .value();
+}
+
 std::uint64_t trial_seed(std::uint64_t campaign_seed, std::string_view topology,
                          std::uint64_t trial) {
   const std::uint64_t stream =
-      util::splitmix64(campaign_seed ^ fnv1a(topology));
+      util::splitmix64(campaign_seed ^ util::fnv1a(topology));
   return util::splitmix64(stream + trial);
 }
 

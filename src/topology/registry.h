@@ -52,6 +52,12 @@ struct TopologyDef {
 /// [num_ases] argv onto a named campaign topology.
 [[nodiscard]] const TopologyDef& nearest_topology(std::uint32_t num_ases);
 
+/// Stable 64-bit fingerprint of a generator configuration (util::Fingerprint
+/// over every field, in declaration order). Identical across processes and
+/// platforms, and any single-field change yields a different value — the
+/// topology half of a campaign-cache key (sim/campaign_cache.h).
+[[nodiscard]] std::uint64_t spec_fingerprint(const GeneratorParams& params);
+
 /// Seed for trial `trial` of a campaign on topology `topology`: the master
 /// seed, an FNV-1a hash of the topology name, and the trial index are mixed
 /// through SplitMix64, so every (campaign seed, topology, trial) triple

@@ -1,0 +1,71 @@
+// Stable 64-bit hashing for content-addressed result keys.
+//
+// The campaign result cache (sim/campaign_cache.h) keys per-trial rows on
+// fingerprints of the structs that determine them — GeneratorParams and
+// ExperimentSpec — so the hashes must be stable across processes, builds,
+// and platforms. std::hash guarantees none of that; these helpers combine
+// byte-wise FNV-1a for strings with the SplitMix64 avalanche permutation
+// (util/rng.h) for field mixing, both fully specified bit-for-bit.
+#ifndef SBGP_UTIL_HASH_H
+#define SBGP_UTIL_HASH_H
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace sbgp::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ull;
+
+/// 64-bit FNV-1a over the bytes of `s`, continuing from `h` — chain calls
+/// to hash a concatenation without materializing it.
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view s, std::uint64_t h = kFnv1aOffset) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Order-sensitive fingerprint accumulator: every field of a struct is
+/// mixed in declaration order, each through SplitMix64, so any single-field
+/// change avalanches into a different final value. Strings mix their length
+/// before their FNV-1a hash, keeping ("ab","c") distinct from ("a","bc").
+class Fingerprint {
+ public:
+  constexpr Fingerprint() = default;
+
+  constexpr Fingerprint& mix(std::uint64_t v) noexcept {
+    h_ = splitmix64(h_ ^ splitmix64(v));
+    return *this;
+  }
+  constexpr Fingerprint& mix(bool v) noexcept {
+    return mix(static_cast<std::uint64_t>(v ? 1 : 0));
+  }
+  constexpr Fingerprint& mix(double v) noexcept {
+    return mix(std::bit_cast<std::uint64_t>(v));
+  }
+  constexpr Fingerprint& mix(std::string_view s) noexcept {
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mix(fnv1a(s));
+  }
+
+  /// Anything else must be cast explicitly: an implicit conversion picking
+  /// the wrong overload (a string literal decaying to bool, a small integer
+  /// ambiguously widening) would silently change the fingerprint schema.
+  template <typename T>
+  Fingerprint& mix(T) = delete;
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffset;
+};
+
+}  // namespace sbgp::util
+
+#endif  // SBGP_UTIL_HASH_H

@@ -1,0 +1,318 @@
+// Campaign result cache tests: fingerprint stability and per-field
+// sensitivity, store/lookup round trips, corrupted-entry rejection, and
+// the end-to-end warm-run contract (all hits, zero engine work, rows
+// byte-identical to the cold run).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.h"
+#include "sim/campaign_cache.h"
+#include "sim/campaign_io.h"
+#include "topology/registry.h"
+
+namespace sbgp::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+using routing::SecurityModel;
+
+/// Fresh per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = fs::temp_directory_path() /
+            (std::string("sbgp_cache_test_") + info->name());
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// The two-spec mini-campaign the cache tests run end to end.
+CampaignSpec cached_campaign(const std::string& cache_dir) {
+  CampaignSpec campaign;
+  campaign.label = "cache-test";
+  campaign.topology = "tiny-500";
+  campaign.trials = 2;
+  campaign.seed = 321;
+  campaign.cache_dir = cache_dir;
+
+  ExperimentSpec heavy;
+  heavy.scenario = "t1-t2";
+  heavy.model = SecurityModel::kSecurityThird;
+  heavy.analyses = AnalysisSet::all();
+  heavy.num_attackers = 3;
+  heavy.num_destinations = 3;
+  campaign.experiments.push_back(heavy);
+
+  ExperimentSpec light;
+  light.scenario = "empty";
+  light.model = SecurityModel::kInsecure;
+  light.analyses = Analysis::kHappiness;
+  light.num_attackers = 2;
+  light.num_destinations = 2;
+  campaign.experiments.push_back(light);
+  return campaign;
+}
+
+/// A synthetic row for direct store/lookup tests (no engine involved).
+CampaignTrialRow synthetic_row(std::uint64_t topology_seed) {
+  CampaignTrialRow r;
+  r.topology = "tiny-500";
+  r.trial = 1;
+  r.topology_seed = topology_seed;
+  r.spec_index = 2;
+  r.row.label = "synthetic";
+  r.row.step_label = "step";
+  r.row.model = SecurityModel::kSecuritySecond;
+  r.row.stats.pairs = 12;
+  r.row.stats.happiness.happy_lower = 7;
+  r.row.stats.happiness.happy_upper = 9;
+  r.row.stats.happiness.sources = 11;
+  return r;
+}
+
+TEST(SpecFingerprint, GeneratorParamsSensitiveToEveryField) {
+  const topology::GeneratorParams base;
+  const std::uint64_t fp = topology::spec_fingerprint(base);
+  EXPECT_EQ(fp, topology::spec_fingerprint(base)) << "must be deterministic";
+
+  using Mutator = std::function<void(topology::GeneratorParams&)>;
+  const std::vector<std::pair<const char*, Mutator>> mutators = {
+      {"num_ases", [](auto& p) { p.num_ases += 1; }},
+      {"num_tier1", [](auto& p) { p.num_tier1 += 1; }},
+      {"num_tier2", [](auto& p) { p.num_tier2 += 1; }},
+      {"num_tier3", [](auto& p) { p.num_tier3 += 1; }},
+      {"num_content_providers", [](auto& p) { p.num_content_providers += 1; }},
+      {"stub_fraction", [](auto& p) { p.stub_fraction += 0.01; }},
+      {"stub_x_fraction", [](auto& p) { p.stub_x_fraction += 0.01; }},
+      {"tier1_stub_fraction", [](auto& p) { p.tier1_stub_fraction += 0.01; }},
+      {"t2_peer_prob", [](auto& p) { p.t2_peer_prob += 0.01; }},
+      {"t3_peer_prob", [](auto& p) { p.t3_peer_prob += 0.01; }},
+      {"t2_t3_peer_prob", [](auto& p) { p.t2_t3_peer_prob += 0.01; }},
+      {"smdg_mean_peers", [](auto& p) { p.smdg_mean_peers += 0.01; }},
+      {"cp_t2_peer_prob", [](auto& p) { p.cp_t2_peer_prob += 0.01; }},
+      {"cp_t3_peer_prob", [](auto& p) { p.cp_t3_peer_prob += 0.01; }},
+      {"cp_cp_peer_prob", [](auto& p) { p.cp_cp_peer_prob += 0.01; }},
+      {"seed", [](auto& p) { p.seed += 1; }},
+  };
+  for (const auto& [name, mutate] : mutators) {
+    topology::GeneratorParams changed = base;
+    mutate(changed);
+    EXPECT_NE(topology::spec_fingerprint(changed), fp)
+        << "fingerprint insensitive to field " << name;
+  }
+}
+
+TEST(SpecFingerprint, ExperimentSpecSensitiveToEveryField) {
+  const ExperimentSpec base;
+  const std::uint64_t fp = spec_fingerprint(base);
+  EXPECT_EQ(fp, spec_fingerprint(base)) << "must be deterministic";
+
+  using Mutator = std::function<void(ExperimentSpec&)>;
+  const std::vector<std::pair<const char*, Mutator>> mutators = {
+      {"label", [](auto& s) { s.label = "renamed"; }},
+      {"scenario", [](auto& s) { s.scenario = "t2-only"; }},
+      {"rollout_step", [](auto& s) { s.rollout_step = 0; }},
+      {"stub_mode",
+       [](auto& s) { s.stub_mode = deployment::StubMode::kSimplex; }},
+      {"model", [](auto& s) { s.model = SecurityModel::kSecurityFirst; }},
+      {"lp", [](auto& s) { s.lp = routing::LocalPrefPolicy::lp_k(2); }},
+      {"lp.k", [](auto& s) { s.lp = routing::LocalPrefPolicy::lp_k(3); }},
+      {"analyses", [](auto& s) { s.analyses |= Analysis::kDowngrades; }},
+      {"hysteresis", [](auto& s) { s.hysteresis = true; }},
+      {"attackers", [](auto& s) { s.attackers = {4, 5}; }},
+      {"destinations", [](auto& s) { s.destinations = {6}; }},
+      {"num_attackers", [](auto& s) { s.num_attackers += 1; }},
+      {"num_destinations", [](auto& s) { s.num_destinations += 1; }},
+      {"sample_seed", [](auto& s) { s.sample_seed += 1; }},
+  };
+  for (const auto& [name, mutate] : mutators) {
+    ExperimentSpec changed = base;
+    mutate(changed);
+    EXPECT_NE(spec_fingerprint(changed), fp)
+        << "fingerprint insensitive to field " << name;
+  }
+
+  // The AS-list hashing keeps boundary placement unambiguous.
+  ExperimentSpec split_a = base;
+  split_a.attackers = {1, 2};
+  split_a.destinations = {3};
+  ExperimentSpec split_b = base;
+  split_b.attackers = {1};
+  split_b.destinations = {2, 3};
+  EXPECT_NE(spec_fingerprint(split_a), spec_fingerprint(split_b));
+}
+
+TEST(CampaignCache, StoreLookupRoundTrip) {
+  const TempDir dir;
+  CampaignCache cache(dir.str());
+  const CacheKey key{111, 222, 333};
+  EXPECT_EQ(cache.lookup(key), std::nullopt);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const CampaignTrialRow row = synthetic_row(/*topology_seed=*/222);
+  cache.store(key, row);
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  const auto found = cache.lookup(key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, row.row);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Any key component change is a different entry.
+  EXPECT_EQ(cache.lookup({112, 222, 333}), std::nullopt);
+  EXPECT_EQ(cache.lookup({111, 223, 333}), std::nullopt);
+  EXPECT_EQ(cache.lookup({111, 222, 334}), std::nullopt);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(CampaignCache, RejectsCorruptedEntries) {
+  const TempDir dir;
+  CampaignCache cache(dir.str());
+  const CacheKey key{1, 2, 3};
+  cache.store(key, synthetic_row(/*topology_seed=*/2));
+
+  // Garbage content: unparseable.
+  {
+    std::ofstream out(dir.path() / cache_entry_name(key));
+    out << "not,a,campaign,row\n";
+  }
+  EXPECT_EQ(cache.lookup(key), std::nullopt);
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+
+  // Valid file whose row count is wrong.
+  {
+    std::ofstream out(dir.path() / cache_entry_name(key));
+    write_trial_rows_csv(out, {synthetic_row(2), synthetic_row(2)});
+  }
+  EXPECT_EQ(cache.lookup(key), std::nullopt);
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+
+  // Valid single row that disagrees with the key's trial seed (a file
+  // renamed or copied under the wrong key).
+  {
+    std::ofstream out(dir.path() / cache_entry_name(key));
+    write_trial_rows_csv(out, {synthetic_row(/*topology_seed=*/999)});
+  }
+  EXPECT_EQ(cache.lookup(key), std::nullopt);
+  EXPECT_EQ(cache.stats().corrupt, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CampaignCache, WarmRunServesEveryCellAndMatchesColdBytes) {
+  const TempDir dir;
+  const CampaignSpec campaign = cached_campaign(dir.str());
+  const std::size_t cells = campaign.trials * campaign.experiments.size();
+
+  const CampaignResult cold = run_campaign(campaign);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, cells);
+
+  const CampaignResult warm = run_campaign(campaign);
+  EXPECT_EQ(warm.cache_hits, cells);
+  EXPECT_EQ(warm.cache_misses, 0u);
+
+  ASSERT_EQ(warm.trial_rows.size(), cold.trial_rows.size());
+  EXPECT_EQ(warm.trial_rows, cold.trial_rows);
+  EXPECT_EQ(warm.rows, cold.rows);
+
+  const auto serialize = [](const CampaignResult& r) {
+    std::ostringstream csv;
+    write_trial_rows_csv(csv, r.trial_rows);
+    std::ostringstream json;
+    write_trial_rows_json(json, r.trial_rows);
+    return csv.str() + json.str();
+  };
+  EXPECT_EQ(serialize(warm), serialize(cold));
+
+  // An uncached run of the same campaign agrees too: the cache changes
+  // where rows come from, never what they hold.
+  CampaignSpec uncached = campaign;
+  uncached.cache_dir.clear();
+  const CampaignResult direct = run_campaign(uncached);
+  EXPECT_EQ(direct.trial_rows, cold.trial_rows);
+  EXPECT_EQ(direct.cache_hits, 0u);
+  EXPECT_EQ(direct.cache_misses, 0u);
+}
+
+TEST(CampaignCache, AnySpecOrSeedChangeMisses) {
+  const TempDir dir;
+  const CampaignSpec campaign = cached_campaign(dir.str());
+  const std::size_t cells = campaign.trials * campaign.experiments.size();
+  (void)run_campaign(campaign);
+
+  // A different master seed derives different trial seeds: all cells miss.
+  CampaignSpec reseeded = campaign;
+  reseeded.seed += 1;
+  const CampaignResult r1 = run_campaign(reseeded);
+  EXPECT_EQ(r1.cache_hits, 0u);
+  EXPECT_EQ(r1.cache_misses, cells);
+
+  // A changed spec field misses for that spec's cells only.
+  CampaignSpec respecced = campaign;
+  respecced.experiments[0].sample_seed += 1;
+  const CampaignResult r2 = run_campaign(respecced);
+  EXPECT_EQ(r2.cache_hits, campaign.trials);    // untouched spec 1
+  EXPECT_EQ(r2.cache_misses, campaign.trials);  // re-sampled spec 0
+
+  // More trials of the same campaign reuse every already-stored cell.
+  CampaignSpec extended = campaign;
+  extended.trials += 1;
+  const CampaignResult r3 = run_campaign(extended);
+  EXPECT_EQ(r3.cache_hits, cells);
+  EXPECT_EQ(r3.cache_misses, extended.experiments.size());
+}
+
+TEST(CampaignCache, CorruptedEntryIsRecomputedEndToEnd) {
+  const TempDir dir;
+  const CampaignSpec campaign = cached_campaign(dir.str());
+  const std::size_t cells = campaign.trials * campaign.experiments.size();
+  const CampaignResult cold = run_campaign(campaign);
+
+  // Truncate one stored entry mid-row.
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    entries.push_back(e.path());
+  }
+  ASSERT_EQ(entries.size(), cells);
+  std::sort(entries.begin(), entries.end());
+  {
+    std::ifstream in(entries.front());
+    std::string header;
+    std::getline(in, header);
+    std::string row;
+    std::getline(in, row);
+    in.close();
+    std::ofstream out(entries.front());
+    out << header << '\n' << row.substr(0, row.size() / 2) << '\n';
+  }
+
+  const CampaignResult warm = run_campaign(campaign);
+  EXPECT_EQ(warm.cache_hits, cells - 1);
+  EXPECT_EQ(warm.cache_misses, 1u);
+  EXPECT_EQ(warm.trial_rows, cold.trial_rows);
+
+  // The recomputation re-stored the entry; the next run is fully warm.
+  const CampaignResult warm2 = run_campaign(campaign);
+  EXPECT_EQ(warm2.cache_hits, cells);
+  EXPECT_EQ(warm2.trial_rows, cold.trial_rows);
+}
+
+}  // namespace
+}  // namespace sbgp::sim

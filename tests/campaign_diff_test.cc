@@ -1,0 +1,144 @@
+// Baseline-diff tests: exact per-column comparison of per-trial rows,
+// tolerance/stderr-aware comparison of aggregated rows, and the report
+// formatting the CI gate prints on divergence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign_diff.h"
+#include "sim/campaign_io.h"
+
+namespace sbgp::sim {
+namespace {
+
+using routing::SecurityModel;
+
+std::vector<CampaignTrialRow> sample_trial_rows() {
+  std::vector<CampaignTrialRow> rows;
+  for (std::size_t t = 0; t < 2; ++t) {
+    CampaignTrialRow r;
+    r.topology = "tiny-500";
+    r.trial = t;
+    r.topology_seed = 1000 + t;
+    r.spec_index = 0;
+    r.row.label = "diff-test";
+    r.row.step_label = "step";
+    r.row.model = SecurityModel::kSecurityThird;
+    r.row.num_attackers = 3;
+    r.row.num_destinations = 3;
+    r.row.stats.pairs = 9;
+    r.row.stats.partitions.doomed = 2 + t;
+    r.row.stats.partitions.protectable = 3;
+    r.row.stats.partitions.immune = 4 - t;
+    r.row.stats.partitions.sources = 9;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<CampaignRow> sample_campaign_rows() {
+  CampaignRow r;
+  r.label = "diff-test";
+  r.topology = "tiny-500";
+  r.spec_index = 0;
+  r.trials = 2;
+  for (auto& m : r.metrics) m = {0.5, 0.01, 0.4, 0.6};
+  return {r};
+}
+
+TEST(CampaignDiff, TrialRowColumnsAlignWithValues) {
+  const auto rows = sample_trial_rows();
+  const auto& columns = trial_row_columns();
+  const auto values = trial_row_values(rows[0]);
+  ASSERT_EQ(columns.size(), values.size());
+  // Spot-check the schema: identity columns lead, counters follow.
+  EXPECT_EQ(columns.front(), "topology");
+  EXPECT_EQ(values.front(), "tiny-500");
+}
+
+TEST(CampaignDiff, IdenticalTrialRowsAreClean) {
+  const auto rows = sample_trial_rows();
+  const DiffReport report = diff_trial_rows(rows, rows);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.rows_compared, rows.size());
+  std::ostringstream os;
+  print_diff_report(os, report);
+  EXPECT_NE(os.str().find("identical"), std::string::npos);
+}
+
+TEST(CampaignDiff, CounterChangeNamesRowAndColumn) {
+  const auto baseline = sample_trial_rows();
+  auto candidate = baseline;
+  candidate[1].row.stats.partitions.doomed += 5;
+  const DiffReport report = diff_trial_rows(baseline, candidate);
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_EQ(report.divergences[0].column, "doomed");
+  EXPECT_NE(report.divergences[0].row.find("trial 1"), std::string::npos);
+  EXPECT_EQ(report.divergences[0].baseline, "3");
+  EXPECT_EQ(report.divergences[0].candidate, "8");
+  std::ostringstream os;
+  print_diff_report(os, report);
+  EXPECT_NE(os.str().find("doomed"), std::string::npos);
+  EXPECT_NE(os.str().find("1 divergence"), std::string::npos);
+}
+
+TEST(CampaignDiff, RowCountMismatchIsNotClean) {
+  const auto baseline = sample_trial_rows();
+  auto candidate = baseline;
+  candidate.pop_back();
+  const DiffReport report = diff_trial_rows(baseline, candidate);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.divergences.empty()) << "shared prefix matches";
+  std::ostringstream os;
+  print_diff_report(os, report);
+  EXPECT_NE(os.str().find("row count mismatch"), std::string::npos);
+}
+
+TEST(CampaignDiff, AggregatedRowsExactByDefault) {
+  const auto baseline = sample_campaign_rows();
+  auto candidate = baseline;
+  EXPECT_TRUE(diff_campaign_rows(baseline, candidate).clean());
+
+  candidate[0].metrics[2].mean += 1e-9;
+  const DiffReport report = diff_campaign_rows(baseline, candidate);
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_EQ(report.divergences[0].column, "doomed_mean");
+}
+
+TEST(CampaignDiff, AbsToleranceAndStderrScaleAdmitSmallDrift) {
+  const auto baseline = sample_campaign_rows();
+  auto candidate = baseline;
+  candidate[0].metrics[2].mean += 1e-9;
+
+  DiffOptions abs_tol;
+  abs_tol.abs_tol = 1e-8;
+  EXPECT_TRUE(diff_campaign_rows(baseline, candidate, abs_tol).clean());
+
+  // Drift inside one combined stderr (0.02) passes at stderr_scale >= 1
+  // but not at 0.5.
+  candidate = baseline;
+  candidate[0].metrics[2].mean += 0.015;
+  DiffOptions by_stderr;
+  by_stderr.stderr_scale = 1.0;
+  EXPECT_TRUE(diff_campaign_rows(baseline, candidate, by_stderr).clean());
+  by_stderr.stderr_scale = 0.5;
+  EXPECT_FALSE(diff_campaign_rows(baseline, candidate, by_stderr).clean());
+}
+
+TEST(CampaignDiff, IdentityColumnChangesAreDivergences) {
+  const auto baseline = sample_campaign_rows();
+  auto candidate = baseline;
+  candidate[0].label = "renamed";
+  candidate[0].trials = 3;
+  const DiffReport report = diff_campaign_rows(baseline, candidate);
+  ASSERT_EQ(report.divergences.size(), 2u);
+  EXPECT_EQ(report.divergences[0].column, "label");
+  EXPECT_EQ(report.divergences[1].column, "trials");
+}
+
+}  // namespace
+}  // namespace sbgp::sim
