@@ -184,9 +184,10 @@ void BM_AnalysesFused(benchmark::State& state) {
   sim::BatchExecutor executor;
   sim::RunnerOptions opts;
   opts.executor = &executor;
+  const auto plan = sim::make_sweep_plan(attackers, dests);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sim::analyze_pairs(topo.graph, attackers, dests, cfg, dep, opts));
+        sim::analyze_sweep(topo.graph, plan, cfg, dep, opts));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * attackers.size() *
@@ -305,6 +306,88 @@ void BM_SuiteSequential(benchmark::State& state) {
                           campaign_pairs(campaign));
 }
 BENCHMARK(BM_SuiteSequential)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Destination-grouped incremental sweep vs. flat full recompute ---------
+//
+// The PR-6 sweep redesign: analyze_sweep schedules whole destination
+// groups so each worker computes the attacker-independent baselines once
+// per destination and derives every admissible attacked outcome from them
+// with the seeded engine (routing::compute_routing_seeded_into). The flat
+// path is the historical behavior: pairs in arbitrary order, every routing
+// outcome recomputed from scratch (sweep context 0). Identical executor,
+// analyses and pair set — compare items_per_second (pairs/sec) directly.
+// Args: (registry topology size: 500, 2000 or 8000).
+
+const topology::GeneratedTopology& registry_topo(std::int64_t n) {
+  static auto tiny = topology::generate_trial("tiny-500", 20130812, 0);
+  static auto small = topology::generate_trial("small-2k", 20130812, 0);
+  static auto bench = topology::generate_trial("bench-8k", 20130812, 0);
+  if (n <= 500) return tiny;
+  if (n <= 2000) return small;
+  return bench;
+}
+
+struct SweepBenchSetup {
+  const topology::GeneratedTopology& topo;
+  routing::Deployment dep;
+  std::vector<topology::AsId> attackers;
+  std::vector<topology::AsId> dests;
+  sim::PairAnalysisConfig cfg;
+};
+
+SweepBenchSetup sweep_setup(std::int64_t n) {
+  const auto& topo = registry_topo(n);
+  sim::PairAnalysisConfig cfg;
+  // Three analyses wanting attacked + normal + attacked-under-empty: every
+  // outcome the destination-grouped cache can amortize or seed.
+  cfg.analyses = sim::Analysis::kHappiness | sim::Analysis::kCollateral |
+                 sim::Analysis::kRootCause;
+  cfg.model = routing::SecurityModel::kSecurityThird;
+  return {topo, half_secure(topo.graph),
+          sim::sample_ases(sim::non_stub_ases(topo.graph), 10, 3),
+          sim::sample_ases(sim::all_ases(topo.graph), 8, 4), cfg};
+}
+
+void BM_SweepIncremental(benchmark::State& state) {
+  const auto setup = sweep_setup(state.range(0));
+  const auto plan = sim::make_sweep_plan(setup.attackers, setup.dests);
+  sim::BatchExecutor executor;
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::analyze_sweep(setup.topo.graph, plan, setup.cfg, setup.dep,
+                           opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * plan.num_pairs()));
+}
+BENCHMARK(BM_SweepIncremental)->Arg(500)->Arg(8000)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_SweepFullRecompute(benchmark::State& state) {
+  const auto setup = sweep_setup(state.range(0));
+  const auto pairs = sim::make_attack_pairs(setup.attackers, setup.dests);
+  sim::BatchExecutor executor;
+  const std::size_t workers = executor.effective_workers(0);
+  std::vector<sim::PairStats> accs(workers);
+  for (auto _ : state) {
+    for (auto& acc : accs) acc = sim::PairStats{};
+    executor.run(pairs.size(), [&](std::size_t worker, std::size_t index) {
+      const auto& p = pairs[index];
+      sim::accumulate_pair_into(setup.topo.graph, p.destination, p.attacker,
+                                setup.cfg, setup.dep,
+                                executor.workspace(worker), accs[worker]);
+    });
+    sim::PairStats total;
+    for (const auto& acc : accs) total += acc;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * pairs.size()));
+}
+BENCHMARK(BM_SweepFullRecompute)->Arg(500)->Arg(8000)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 // Repeated *small* runner calls — the deployment-rollout access pattern

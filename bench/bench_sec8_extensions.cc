@@ -33,8 +33,10 @@ security::MetricBounds metric_with(
   cfg.analyses = sim::Analysis::kHappiness;
   cfg.model = model;
   cfg.hysteresis = hysteresis;
-  return sim::analyze_pairs(ctx.graph(), ctx.attackers, dests, cfg, dep)
-      .happiness.bounds();
+  return sim::analyze_sweep(ctx.graph(),
+                            sim::make_sweep_plan(ctx.attackers, dests), cfg,
+                            dep)
+      .total.happiness.bounds();
 }
 
 }  // namespace

@@ -50,7 +50,10 @@ void print_usage(std::ostream& os) {
   for (const auto& def : sbgp::topology::topology_registry()) {
     os << "  " << def.name << "  —  " << def.description << '\n';
   }
-  os << "registered scenarios: " << sbgp::deployment::scenario_names() << '\n';
+  os << "registered scenarios:\n";
+  for (const auto& def : sbgp::deployment::scenario_registry()) {
+    os << "  " << def.name << "  —  " << def.description << '\n';
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "routing/engine.h"
+#include "routing/workspace.h"
 #include "security/happiness.h"
 
 namespace sbgp::deployment {
@@ -48,12 +49,19 @@ bool for_each_subset(std::size_t n, std::size_t k, Fn fn) {
 }  // namespace
 
 std::size_t happy_total(const AsGraph& g, AsId d, AsId m, SecurityModel model,
-                        const std::vector<AsId>& secure_set) {
+                        const std::vector<AsId>& secure_set,
+                        routing::EngineWorkspace& ws) {
   routing::Deployment dep(g.num_ases());
   for (const AsId v : secure_set) dep.secure.insert(v);
-  const auto out = routing::compute_routing(g, {d, m, model}, dep);
+  const auto& out = routing::compute_routing(g, {d, m, model}, dep, ws);
   // Destination counts as happy; strict lower bound for everyone else.
   return 1 + security::count_happy(out, d, m).happy_lower;
+}
+
+std::size_t happy_total(const AsGraph& g, AsId d, AsId m, SecurityModel model,
+                        const std::vector<AsId>& secure_set) {
+  routing::EngineWorkspace ws(g.num_ases());
+  return happy_total(g, d, m, model, secure_set, ws);
 }
 
 MaxKResult max_k_security_exact(const AsGraph& g, AsId d, AsId m,
@@ -64,11 +72,12 @@ MaxKResult max_k_security_exact(const AsGraph& g, AsId d, AsId m,
     throw std::invalid_argument("max_k_security_exact: instance too large");
   }
   MaxKResult best;
+  routing::EngineWorkspace ws(n);
   for_each_subset(n, k, [&](const std::vector<std::size_t>& idx) {
     std::vector<AsId> set;
     set.reserve(idx.size());
     for (const auto i : idx) set.push_back(static_cast<AsId>(i));
-    const auto happy = happy_total(g, d, m, model, set);
+    const auto happy = happy_total(g, d, m, model, set, ws);
     if (happy > best.happy) {
       best.happy = happy;
       best.chosen = set;
@@ -81,7 +90,8 @@ MaxKResult max_k_security_exact(const AsGraph& g, AsId d, AsId m,
 MaxKResult max_k_security_greedy(const AsGraph& g, AsId d, AsId m,
                                  SecurityModel model, std::size_t k) {
   MaxKResult result;
-  result.happy = happy_total(g, d, m, model, {});
+  routing::EngineWorkspace ws(g.num_ases());
+  result.happy = happy_total(g, d, m, model, {}, ws);
   for (std::size_t round = 0; round < k; ++round) {
     std::size_t best_gain_happy = result.happy;
     AsId best_v = routing::kNoAs;
@@ -92,7 +102,7 @@ MaxKResult max_k_security_greedy(const AsGraph& g, AsId d, AsId m,
       }
       auto candidate = result.chosen;
       candidate.push_back(v);
-      const auto happy = happy_total(g, d, m, model, candidate);
+      const auto happy = happy_total(g, d, m, model, candidate, ws);
       if (happy > best_gain_happy ||
           (happy == best_gain_happy && best_v == routing::kNoAs)) {
         best_gain_happy = happy;
@@ -159,11 +169,12 @@ bool set_cover_exists(const SetCoverInstance& sc) {
 bool dklsp_decision(const ReductionGraph& rg, SecurityModel model) {
   const std::size_t n = rg.graph.num_ases();
   bool found = false;
+  routing::EngineWorkspace ws(n);
   for_each_subset(n, rg.k, [&](const std::vector<std::size_t>& idx) {
     std::vector<AsId> set;
     set.reserve(idx.size());
     for (const auto i : idx) set.push_back(static_cast<AsId>(i));
-    if (happy_total(rg.graph, rg.destination, rg.attacker, model, set) >=
+    if (happy_total(rg.graph, rg.destination, rg.attacker, model, set, ws) >=
         rg.l) {
       found = true;
       return true;

@@ -19,6 +19,10 @@
 #include "routing/model.h"
 #include "topology/as_graph.h"
 
+namespace sbgp::routing {
+class EngineWorkspace;
+}  // namespace sbgp::routing
+
 namespace sbgp::deployment {
 
 using routing::AsId;
@@ -30,6 +34,13 @@ using topology::AsGraph;
 [[nodiscard]] std::size_t happy_total(const AsGraph& g, AsId d, AsId m,
                                       SecurityModel model,
                                       const std::vector<AsId>& secure_set);
+
+/// Workspace variant: routes into ws.primary, allocation-free in steady
+/// state. The exhaustive/greedy solvers call this in their subset loops.
+[[nodiscard]] std::size_t happy_total(const AsGraph& g, AsId d, AsId m,
+                                      SecurityModel model,
+                                      const std::vector<AsId>& secure_set,
+                                      routing::EngineWorkspace& ws);
 
 struct MaxKResult {
   std::vector<AsId> chosen;

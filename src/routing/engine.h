@@ -94,6 +94,11 @@ class RoutingOutcome {
     return toward_destination ? next_toward_d_[v] : next_toward_m_[v];
   }
 
+  /// Exact per-AS equality over every attribute, including the
+  /// representative next hops — what the seeded/incremental engine paths
+  /// are tested against (identical bytes, not just identical statistics).
+  [[nodiscard]] bool operator==(const RoutingOutcome&) const = default;
+
   // --- engine-internal setters (public for the implementation file) -----
   void fix(AsId v, RouteType t, std::uint16_t len, bool reach_d, bool reach_m,
            bool secure, AsId nh_d, AsId nh_m) noexcept {
@@ -163,6 +168,71 @@ void compute_routing_with_hysteresis_into(const AsGraph& g, const Query& q,
                                           const Deployment& deployment,
                                           EngineWorkspace& ws,
                                           RoutingOutcome& result);
+
+/// Hysteresis variant that takes the pre-attack outcome of
+/// {q.destination, kNoAs, q.model} under `deployment` as a precomputed
+/// input instead of recomputing it — the destination-grouped sweep
+/// (sim/pair_analysis.h) computes `normal` once per destination and feeds
+/// it to every attacker. `normal` must not alias `result`; ws.normal is
+/// left untouched. Bit-for-bit identical to the recomputing overload.
+void compute_routing_with_hysteresis_into(const AsGraph& g, const Query& q,
+                                          const Deployment& deployment,
+                                          EngineWorkspace& ws,
+                                          const RoutingOutcome& normal,
+                                          RoutingOutcome& result);
+
+// --- Seeded / incremental routing (destination-grouped sweeps) -------------
+//
+// A sweep evaluates many attackers against the same destination. The
+// no-attack outcome of {d, kNoAs, model} is attacker-independent, and
+// compute_routing_seeded_into re-derives the attacked state from that
+// cached baseline instead of from scratch:
+//
+//  * Customer stage: monotone delta. The stage depends only on origins
+//    and the customer hierarchy, and the attack merely adds the origin
+//    "m, d" (legacy BGP, length 1) — candidate lengths only shrink and
+//    exporters only accumulate, so only attacker-perturbed ASes are
+//    re-scanned, in the engine's exact candidate order.
+//  * Peer stage: delta. Peer routes read only finalized customer-stage
+//    states, so one pass over the ASes whose peer suppliers changed
+//    suffices.
+//  * Provider stage: two-pass delta. Provider routes are NOT monotone —
+//    an AS near d may trade a short provider route for a longer
+//    peer/customer route, lengthening every provider route through it —
+//    so the lengths are settled first with a DynamicSWSF-FP fixpoint
+//    (Ramalingam-Reps: handles both shortenings and lengthenings, visits
+//    only ASes whose one-provider-hop lookahead disagrees with their
+//    length), and the flags/next hops are then re-derived in increasing
+//    final length for every AS whose min-length provider bucket could
+//    have changed.
+//
+// The result is bit-for-bit identical to a full compute_routing_into of
+// the same query.
+//
+// In kSecurityFirst / kSecuritySecond with a signed origin the secure
+// stages (FSCR/FSPeeR/FSPrvR) also run, and their interleaving is not
+// reproduced here (the attacked instance *removes* m as a secure transit
+// node, which can displace secure routes); callers must fall back to the
+// full engine there.
+
+/// True if compute_routing_seeded_into may serve this attacked query:
+/// q.under_attack() and no secure stage runs (kInsecure / kSecurityThird,
+/// or an unsigned origin), per the staging argument above.
+[[nodiscard]] bool routing_seed_applicable(const Query& q,
+                                           const Deployment& deployment);
+
+/// Computes the attacked stable outcome of `q` into `result`, starting
+/// from `baseline` — which must be the outcome of {q.destination, kNoAs,
+/// q.model} under the same graph and deployment. Requires
+/// routing_seed_applicable(q, deployment) (throws std::invalid_argument
+/// otherwise, as for a malformed query); `baseline` must not alias
+/// `result`. Uses ws.fixed, ws.frontier, ws.frontier2, ws.touched,
+/// ws.changed, ws.dirty, ws.dist, ws.rhs and ws.seen as scratch.
+void compute_routing_seeded_into(const AsGraph& g, const Query& q,
+                                 const Deployment& deployment,
+                                 EngineWorkspace& ws,
+                                 const RoutingOutcome& baseline,
+                                 RoutingOutcome& result);
 
 /// Convenience: hysteresis outcome into ws.primary.
 const RoutingOutcome& compute_routing_with_hysteresis(

@@ -20,9 +20,55 @@
 
 namespace sbgp::routing {
 
+/// Attacker-independent per-destination state cached across the pairs of
+/// one destination group (sim/pair_analysis.h's analyze_sweep). Keyed by a
+/// (sweep-context token, destination) pair: the token is minted per sweep
+/// (or per campaign cell), so a stale slot from a previous group, sweep,
+/// deployment or topology can never be mistaken for a hit. Token 0 means
+/// "no caching" and is never a valid key.
+struct DestBaselineSlot {
+  std::uint64_t context = 0;  // sweep-context token; 0 = empty slot
+  AsId destination = kNoAs;
+  bool has_normal = false;
+  bool has_insecure_empty = false;
+  /// Outcome of {destination, kNoAs, model} under the sweep's deployment —
+  /// the `normal` outcome every analysis of the group shares, and the seed
+  /// for compute_routing_seeded_into when the model admits it.
+  RoutingOutcome normal;
+  /// Outcome of {destination, kNoAs, kInsecure} under S = emptyset — the
+  /// seed for the S = emptyset *attacked* outcome (always seedable).
+  RoutingOutcome insecure_empty;
+};
+
 /// Long-lived scratch state for routing computations. Not thread-safe: one
 /// workspace per worker. Buffers grow to the largest graph seen and are
 /// reused (values reset, capacity kept) on every query.
+///
+/// Slot ownership rules
+/// --------------------
+/// The engine never decides where a result lives; the caller does, and the
+/// conventions below keep one workspace sufficient for every fused
+/// analysis:
+///   - `primary` is the default target (the convenience overloads compute
+///     into it). Nothing else writes it.
+///   - `normal` is clobbered by compute_routing_with_hysteresis_into's
+///     recomputing overload (pre-attack state); a caller holding its own
+///     pre-attack outcome uses the precomputed-`normal` overload, which
+///     leaves the slot alone.
+///   - `baseline` is owned by the partition analysis
+///     (security::PartitionContext computes the S = emptyset attacked
+///     state there for the 2nd/3rd models).
+///   - `attacked_empty` exists so the S = emptyset attacked outcome can
+///     coexist with a live PartitionContext.
+///   - `dest_baseline` is owned by the destination-grouped sweep
+///     (sim::accumulate_pair_into with a non-zero sweep context); no
+///     engine entry point touches it implicitly.
+///   - A `result` argument passed to any *_into entry point must not alias
+///     a slot the same call reads or clobbers (asserted where cheap).
+/// Scratch members (`fixed`, `frontier`, `frontier2`, `touched`, `changed`,
+/// `dirty`, `dist`, `rhs`, `seen`, `candidates`, `reach_*`) are invalidated
+/// by every compute call; no caller may hold state in them across engine
+/// entry points.
 class EngineWorkspace {
  public:
   EngineWorkspace() = default;
@@ -44,10 +90,25 @@ class EngineWorkspace {
   RoutingOutcome baseline;
   RoutingOutcome attacked_empty;
 
+  /// Attacker-independent per-destination cache for grouped sweeps (see
+  /// DestBaselineSlot above).
+  DestBaselineSlot dest_baseline;
+
   // --- Staged-BFS engine scratch ---------------------------------------
   std::vector<std::uint8_t> fixed;  // per-AS "route fixed" flags
   std::vector<std::pair<std::uint32_t, AsId>> frontier;  // stage heap storage
   std::vector<AsId> candidates;     // tie-set candidate buffer (baseline)
+
+  // --- Seeded-engine delta scratch (compute_routing_seeded_into) --------
+  std::vector<std::pair<std::uint32_t, AsId>> frontier2;  // 2nd stage heap
+  std::vector<AsId> touched;           // peer-phase candidate list
+  std::vector<AsId> changed;           // rank-changed customer/peer sources
+  std::vector<AsId> dirty;             // provider-delta distance-change list
+  std::vector<std::uint16_t> dist;     // provider-delta working lengths
+  std::vector<std::uint32_t> rhs;      // provider-delta one-step lookaheads
+  std::vector<std::uint64_t> seen;     // per-AS epoch stamps
+  std::vector<std::uint8_t> seen_bits; // per-phase marks within an epoch
+  std::uint64_t seen_epoch = 0;        // bumped once per seeded call
 
   // --- Perceivable-reachability scratch (partition analysis) ------------
   PerceivableDistances reach_d;  // distances toward the destination

@@ -192,7 +192,7 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
   // are per-pair units, one active (trial, spec) cell after another, each
   // cell spanning the requested attackers x destinations grid. Grid slots
   // that sampling left empty or where attacker == destination are skipped,
-  // exactly like make_attack_pairs. Prep units sit at the lowest indices
+  // exactly like make_sweep_plan. Prep units sit at the lowest indices
   // and chunks are handed out in index order, so every prep is claimed
   // (and being executed) before any worker can block on its trial's
   // readiness — pair analysis of trial t overlaps generation of trials
@@ -213,6 +213,12 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
   const std::size_t workers = exec.effective_workers(opts.threads);
   std::vector<std::vector<PairStats>> accs(
       workers, std::vector<PairStats>(active_cells.size()));
+
+  // One sweep-context token per active cell: all pairs of a cell share the
+  // trial graph, deployment and config, so their per-destination baselines
+  // are mutually reusable — and never across cells.
+  std::vector<std::uint64_t> cell_tokens(active_cells.size());
+  for (auto& token : cell_tokens) token = next_sweep_context();
 
   // Readiness handshake: pair units of a not-yet-prepared trial block on
   // ready_cv rather than spinning (this box may oversubscribe cores). A
@@ -265,15 +271,18 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
       const std::size_t cell_begin = k == 0 ? num_prep : cell_end[k - 1];
       const std::size_t slot = unit - cell_begin;
       const ResolvedExperiment& re = st.resolved[cell % num_specs];
-      const std::size_t grid_cols =
-          campaign.experiments[cell % num_specs].num_destinations;
-      const std::size_t a = slot / grid_cols;
-      const std::size_t d = slot % grid_cols;
+      // Destination-major slot order: consecutive units of a cell share a
+      // destination, so chunked workers hit the workspace's per-destination
+      // baseline cache. The skip rules match make_sweep_plan exactly.
+      const std::size_t grid_rows =
+          campaign.experiments[cell % num_specs].num_attackers;
+      const std::size_t a = slot % grid_rows;
+      const std::size_t d = slot / grid_rows;
       if (a >= re.attackers.size() || d >= re.destinations.size()) return;
       if (re.attackers[a] == re.destinations[d]) return;
       accumulate_pair_into(st.topo.graph, re.destinations[d], re.attackers[a],
                            re.cfg, *re.deployment, exec.workspace(worker),
-                           accs[worker][k]);
+                           cell_tokens[k], accs[worker][k]);
     } catch (...) {
       // The store must happen under the mutex, or a waiter between its
       // predicate check and its sleep would miss this (final) wakeup.
@@ -307,7 +316,7 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
       } else {
         tr.row = states[t].resolved[s].header;
         // Merge per-worker integer partials in worker order — bit-for-bit
-        // identical for any worker count, and identical to analyze_pairs.
+        // identical for any worker count, and identical to analyze_sweep.
         for (std::size_t w = 0; w < workers; ++w) {
           tr.row.stats += accs[w][active_index[cell]];
         }

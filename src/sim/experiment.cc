@@ -122,8 +122,9 @@ std::vector<ExperimentRow> run_experiment_suite(
   for (const auto& spec : specs) {
     ResolvedExperiment re = resolver.resolve(spec);
     ExperimentRow row = std::move(re.header);
-    row.stats = analyze_pairs(g, re.attackers, re.destinations, re.cfg,
-                              *re.deployment, opts);
+    row.stats = analyze_sweep(g, make_sweep_plan(re.attackers, re.destinations),
+                              re.cfg, *re.deployment, opts)
+                    .total;
     rows.push_back(std::move(row));
   }
   return rows;

@@ -1,7 +1,10 @@
 #include "sim/pair_analysis.h"
 
+#include <algorithm>
+#include <atomic>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "routing/workspace.h"
 #include "security/pair_outcomes.h"
@@ -43,9 +46,42 @@ std::vector<AttackPair> make_attack_pairs(
   return pairs;
 }
 
+SweepPlan make_sweep_plan(const std::vector<AsId>& attackers,
+                          const std::vector<AsId>& destinations) {
+  if (attackers.empty() || destinations.empty()) {
+    throw std::invalid_argument(
+        "make_sweep_plan: empty attacker/destination set");
+  }
+  SweepPlan plan;
+  plan.groups.reserve(destinations.size());
+  std::size_t pairs = 0;
+  for (std::size_t di = 0; di < destinations.size(); ++di) {
+    DestinationGroup grp;
+    grp.destination = destinations[di];
+    grp.dest_index = di;
+    grp.attackers.reserve(attackers.size());
+    for (const AsId m : attackers) {
+      if (m != destinations[di]) grp.attackers.push_back(m);
+    }
+    pairs += grp.attackers.size();
+    plan.groups.push_back(std::move(grp));
+  }
+  if (pairs == 0) {
+    throw std::invalid_argument(
+        "make_sweep_plan: every attacker equals every destination");
+  }
+  return plan;
+}
+
+std::uint64_t next_sweep_context() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
                           const PairAnalysisConfig& cfg, const Deployment& dep,
-                          routing::EngineWorkspace& ws, PairStats& acc) {
+                          routing::EngineWorkspace& ws,
+                          std::uint64_t sweep_context, PairStats& acc) {
   if (cfg.analyses.empty()) {
     throw std::invalid_argument("accumulate_pair_into: empty analysis set");
   }
@@ -54,6 +90,30 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
         "accumulate_pair_into: attacker == destination");
   }
   ++acc.pairs;
+
+  // Per-destination baseline cache. A hit requires the exact (token, d)
+  // pair; the token is minted per sweep, so deployments, configs and
+  // graphs can never be confused across calls.
+  routing::DestBaselineSlot& db = ws.dest_baseline;
+  const bool cached = sweep_context != 0;
+  if (cached && (db.context != sweep_context || db.destination != d)) {
+    db.context = sweep_context;
+    db.destination = d;
+    db.has_normal = false;
+    db.has_insecure_empty = false;
+  }
+  const auto ensure_normal = [&]() -> const routing::RoutingOutcome& {
+    const routing::Query nq{d, routing::kNoAs, cfg.model};
+    if (!cached) {
+      routing::compute_routing_into(g, nq, dep, ws, ws.normal);
+      return ws.normal;
+    }
+    if (!db.has_normal) {
+      routing::compute_routing_into(g, nq, dep, ws, db.normal);
+      db.has_normal = true;
+    }
+    return db.normal;
+  };
 
   security::PairOutcomes po;
   po.g = &g;
@@ -64,19 +124,32 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
   if (cfg.analyses.intersects(kNeedsAttacked)) {
     const routing::Query q{d, m, cfg.model};
     if (cfg.hysteresis) {
-      // The hysteresis engine computes the pre-attack state as its first
-      // step (into ws.normal), so `normal` comes for free here.
-      routing::compute_routing_with_hysteresis_into(g, q, dep, ws, ws.primary);
-      po.normal = &ws.normal;
+      if (cached) {
+        // Hysteresis pins routes of the pre-attack state, which is exactly
+        // the cached per-destination baseline.
+        const auto& normal = ensure_normal();
+        routing::compute_routing_with_hysteresis_into(g, q, dep, ws, normal,
+                                                      ws.primary);
+        po.normal = &normal;
+      } else {
+        // The hysteresis engine computes the pre-attack state as its first
+        // step (into ws.normal), so `normal` comes for free here.
+        routing::compute_routing_with_hysteresis_into(g, q, dep, ws,
+                                                      ws.primary);
+        po.normal = &ws.normal;
+      }
+    } else if (cached && routing::routing_seed_applicable(q, dep)) {
+      // Monotone case: derive the attacked state incrementally from the
+      // cached baseline (bit-for-bit identical to the full engine).
+      routing::compute_routing_seeded_into(g, q, dep, ws, ensure_normal(),
+                                           ws.primary);
     } else {
       routing::compute_routing_into(g, q, dep, ws, ws.primary);
     }
     po.attacked = &ws.primary;
   }
   if (cfg.analyses.intersects(kNeedsNormal) && po.normal == nullptr) {
-    routing::compute_routing_into(g, {d, routing::kNoAs, cfg.model}, dep, ws,
-                                  ws.normal);
-    po.normal = &ws.normal;
+    po.normal = &ensure_normal();
   }
   // The partition state owns ws.baseline (or the reach buffers for
   // security 1st), which no other outcome above touches, so it can coexist
@@ -106,8 +179,22 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
       // bit for bit — no extra engine run needed.
       po.attacked_empty = &ws.baseline;
     } else {
-      routing::compute_routing_into(g, {d, m, SecurityModel::kInsecure}, {},
-                                    ws, ws.attacked_empty);
+      const routing::Query eq{d, m, SecurityModel::kInsecure};
+      if (cached) {
+        // The insecure S = emptyset instance is always seedable (security
+        // never ranks), so the attacked-empty outcome also amortizes to an
+        // incremental derivation per attacker.
+        if (!db.has_insecure_empty) {
+          routing::compute_routing_into(
+              g, {d, routing::kNoAs, SecurityModel::kInsecure}, {}, ws,
+              db.insecure_empty);
+          db.has_insecure_empty = true;
+        }
+        routing::compute_routing_seeded_into(g, eq, {}, ws, db.insecure_empty,
+                                             ws.attacked_empty);
+      } else {
+        routing::compute_routing_into(g, eq, {}, ws, ws.attacked_empty);
+      }
       po.attacked_empty = &ws.attacked_empty;
     }
   }
@@ -127,71 +214,95 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
   }
 }
 
-namespace {
+SweepResult analyze_sweep(const AsGraph& g, const SweepPlan& plan,
+                          const PairAnalysisConfig& cfg, const Deployment& dep,
+                          const RunnerOptions& opts) {
+  if (plan.groups.empty()) {
+    throw std::invalid_argument("analyze_sweep: empty plan");
+  }
+  std::size_t pairs = 0;
+  for (const auto& grp : plan.groups) {
+    for (const AsId m : grp.attackers) {
+      if (m == grp.destination) {
+        throw std::invalid_argument(
+            "analyze_sweep: group attackers contain the destination");
+      }
+    }
+    pairs += grp.attackers.size();
+  }
+  if (pairs == 0) {
+    throw std::invalid_argument("analyze_sweep: plan has no pairs");
+  }
 
-/// Shared batch driver: runs `per_pair(ws, pair, acc)` over every valid
-/// pair on the options' executor with one accumulator per worker, then
-/// folds the per-worker partials in worker order. All PairStats counters
-/// are integers, so the fold is exact and thread-count-independent.
-template <typename Acc, typename PerPair>
-Acc accumulate_over_pairs(const std::vector<AsId>& attackers,
-                          const std::vector<AsId>& destinations,
-                          const RunnerOptions& opts, const Acc& init,
-                          PerPair per_pair) {
-  const auto pairs = make_attack_pairs(attackers, destinations);
+  // Scheduling unit: a chunk of one group's attackers. Chunks keep load
+  // balanced across workers while staying large enough that the
+  // per-(destination, worker) baselines amortize.
+  struct Unit {
+    std::size_t group;
+    std::size_t begin;
+    std::size_t end;
+  };
+  constexpr std::size_t kChunk = 16;
+  std::vector<Unit> units;
+  units.reserve(pairs / kChunk + plan.groups.size());
+  for (std::size_t gi = 0; gi < plan.groups.size(); ++gi) {
+    const std::size_t count = plan.groups[gi].attackers.size();
+    for (std::size_t b = 0; b < count; b += kChunk) {
+      units.push_back({gi, b, std::min(b + kChunk, count)});
+    }
+  }
+
   BatchExecutor& exec =
       opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
   const std::size_t workers = exec.effective_workers(opts.threads);
-  std::vector<Acc> accs(workers, init);
+  const std::uint64_t token = next_sweep_context();
+
+  // Per-worker, per-group partials folded in worker order: all counters
+  // are integers, so the result is independent of thread count, chunk
+  // interleaving and group order.
+  std::vector<std::vector<PairStats>> accs(
+      workers, std::vector<PairStats>(plan.groups.size()));
   exec.run(
-      pairs.size(),
+      units.size(),
       [&](std::size_t worker, std::size_t i) {
-        per_pair(exec.workspace(worker), pairs[i], accs[worker]);
+        const Unit& u = units[i];
+        const DestinationGroup& grp = plan.groups[u.group];
+        routing::EngineWorkspace& ws = exec.workspace(worker);
+        PairStats& acc = accs[worker][u.group];
+        for (std::size_t k = u.begin; k < u.end; ++k) {
+          accumulate_pair_into(g, grp.destination, grp.attackers[k], cfg, dep,
+                               ws, token, acc);
+        }
       },
       workers);
-  Acc total = init;
-  for (auto& a : accs) total += a;
-  return total;
-}
 
-struct PerDestStats {
-  std::vector<PairStats> per_dest;
-
-  PerDestStats& operator+=(const PerDestStats& o) {
-    for (std::size_t i = 0; i < per_dest.size(); ++i) {
-      per_dest[i] += o.per_dest[i];
+  SweepResult res;
+  res.per_destination.assign(plan.groups.size(), PairStats{});
+  for (const auto& worker_accs : accs) {
+    for (std::size_t gi = 0; gi < worker_accs.size(); ++gi) {
+      res.per_destination[gi] += worker_accs[gi];
     }
-    return *this;
   }
-};
-
-}  // namespace
+  for (const PairStats& s : res.per_destination) res.total += s;
+  return res;
+}
 
 PairStats analyze_pairs(const AsGraph& g, const std::vector<AsId>& attackers,
                         const std::vector<AsId>& destinations,
                         const PairAnalysisConfig& cfg, const Deployment& dep,
                         const RunnerOptions& opts) {
-  return accumulate_over_pairs<PairStats>(
-      attackers, destinations, opts, {},
-      [&](routing::EngineWorkspace& ws, const AttackPair& p, PairStats& acc) {
-        accumulate_pair_into(g, p.destination, p.attacker, cfg, dep, ws, acc);
-      });
+  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
+                       opts)
+      .total;
 }
 
 std::vector<PairStats> analyze_pairs_per_destination(
     const AsGraph& g, const std::vector<AsId>& attackers,
     const std::vector<AsId>& destinations, const PairAnalysisConfig& cfg,
     const Deployment& dep, const RunnerOptions& opts) {
-  PerDestStats init;
-  init.per_dest.resize(destinations.size());
-  auto total = accumulate_over_pairs<PerDestStats>(
-      attackers, destinations, opts, init,
-      [&](routing::EngineWorkspace& ws, const AttackPair& p,
-          PerDestStats& acc) {
-        accumulate_pair_into(g, p.destination, p.attacker, cfg, dep, ws,
-                             acc.per_dest[p.dest_index]);
-      });
-  return std::move(total.per_dest);
+  return std::move(analyze_sweep(g, make_sweep_plan(attackers, destinations),
+                                 cfg, dep, opts)
+                       .per_destination);
 }
 
 }  // namespace sbgp::sim

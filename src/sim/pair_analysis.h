@@ -17,9 +17,20 @@
 //               partition state for security 2nd/3rd doubles as the
 //               S = emptyset attacked outcome; 4 otherwise)
 //
+// On top of the fusing, the sweep API is *destination-grouped*: a SweepPlan
+// organizes the pairs as DestinationGroup units so that every attacker of
+// one destination runs on a workspace whose dest_baseline slot caches the
+// attacker-independent outcomes ({d, kNoAs, model} under S, and
+// {d, kNoAs, kInsecure} under S = emptyset). Those baselines are computed
+// at most once per (destination, worker) and every attacked outcome the
+// model admits is then derived incrementally from them
+// (routing::compute_routing_seeded_into) — bit-for-bit identical to the
+// full engine, several times cheaper per pair.
+//
 // Determinism contract: PairStats is all integers, so per-worker partials
 // merge to bit-for-bit identical totals for any thread count (see
-// BatchExecutor).
+// BatchExecutor), and group-wise merging yields exactly the flat sweep's
+// totals.
 #ifndef SBGP_SIM_PAIR_ANALYSIS_H
 #define SBGP_SIM_PAIR_ANALYSIS_H
 
@@ -141,21 +152,75 @@ struct AttackPair {
   std::size_t dest_index;  // index of the destination in the sampled set
 };
 
-/// Flattens attackers x destinations into the pair list every runner and
-/// the experiment suite sweep, skipping attacker == destination instances
-/// (an AS cannot hijack its own prefix). Throws std::invalid_argument if
-/// either set is empty or no valid pair remains.
+/// Flattens attackers x destinations into the pair list, skipping
+/// attacker == destination instances (an AS cannot hijack its own prefix).
+/// Throws std::invalid_argument if either set is empty or no valid pair
+/// remains. Mostly superseded by make_sweep_plan for sweeps; still the
+/// right shape for callers that schedule pairs themselves.
 [[nodiscard]] std::vector<AttackPair> make_attack_pairs(
     const std::vector<AsId>& attackers, const std::vector<AsId>& destinations);
 
+/// All attackers targeting one destination — the scheduling unit of
+/// analyze_sweep. Attackers never contain the destination itself.
+struct DestinationGroup {
+  AsId destination = routing::kNoAs;
+  std::size_t dest_index = 0;  // index in the sampled destination set
+  std::vector<AsId> attackers;
+};
+
+/// A pair sweep, grouped by destination. Groups keep the destination
+/// set's order (one group per destination, possibly with no attackers
+/// left after the == skip) so per-destination results align with the
+/// original sample.
+struct SweepPlan {
+  std::vector<DestinationGroup> groups;
+
+  [[nodiscard]] std::size_t num_pairs() const {
+    std::size_t n = 0;
+    for (const auto& grp : groups) n += grp.attackers.size();
+    return n;
+  }
+};
+
+/// Groups attackers x destinations by destination, skipping
+/// attacker == destination instances. Throws std::invalid_argument if
+/// either set is empty or no valid pair remains.
+[[nodiscard]] SweepPlan make_sweep_plan(const std::vector<AsId>& attackers,
+                                        const std::vector<AsId>& destinations);
+
+/// Mints a fresh sweep-context token (process-wide, never 0, never
+/// reused). Pass it to accumulate_pair_into for every pair of one
+/// (deployment, config, destination-grouped) sweep to activate the
+/// per-destination baseline cache in the workspace's dest_baseline slot;
+/// analyze_sweep and the campaign scheduler do this internally.
+[[nodiscard]] std::uint64_t next_sweep_context();
+
 /// Runs every selected analysis for the single pair (m on d), computing
-/// each required routing outcome exactly once into `ws`, and adds the
+/// each required routing outcome at most once into `ws`, and adds the
 /// results to `acc`. Requires d != m and a non-empty analysis set (throws
 /// std::invalid_argument otherwise; partition/downgrade analyses also
 /// reject SecurityModel::kInsecure, matching PartitionContext).
+///
+/// `sweep_context` controls the attacker-independent baseline cache in
+/// ws.dest_baseline: 0 disables it (every outcome computed from scratch);
+/// a token from next_sweep_context() lets consecutive calls with the same
+/// (token, d) reuse the no-attack baselines and derive attacked outcomes
+/// incrementally. The caller must mint a fresh token whenever the graph,
+/// deployment or config changes; results are bit-for-bit identical either
+/// way.
 void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
                           const PairAnalysisConfig& cfg, const Deployment& dep,
-                          routing::EngineWorkspace& ws, PairStats& acc);
+                          routing::EngineWorkspace& ws,
+                          std::uint64_t sweep_context, PairStats& acc);
+
+/// Uncached convenience overload (sweep_context = 0).
+inline void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
+                                 const PairAnalysisConfig& cfg,
+                                 const Deployment& dep,
+                                 routing::EngineWorkspace& ws,
+                                 PairStats& acc) {
+  accumulate_pair_into(g, d, m, cfg, dep, ws, 0, acc);
+}
 
 /// Worker cap / executor choice for a batch call (shared by the runners,
 /// the fused pipeline and the experiment suite).
@@ -169,8 +234,32 @@ struct RunnerOptions {
   BatchExecutor* executor = nullptr;
 };
 
-/// Fused sweep over attackers x destinations on a BatchExecutor: one
-/// routing computation set per pair feeding every selected analysis.
+/// Result of one destination-grouped sweep. `per_destination[i]` holds the
+/// merged stats of plan.groups[i] (zero-valued for attacker-less groups);
+/// `total` is their sum, bit-for-bit equal to the historical flat sweep.
+struct SweepResult {
+  PairStats total;
+  std::vector<PairStats> per_destination;
+};
+
+/// Fused destination-grouped sweep on a BatchExecutor: schedules whole
+/// groups (chunks of one destination's attackers) so each worker computes
+/// the attacker-independent baselines once per destination and derives
+/// every admissible attacked outcome incrementally from them. Results are
+/// bit-for-bit independent of thread count, chunking and group order.
+/// Throws std::invalid_argument on an empty plan, a pair-less plan, or a
+/// group whose attackers contain its own destination.
+[[nodiscard]] SweepResult analyze_sweep(const AsGraph& g,
+                                        const SweepPlan& plan,
+                                        const PairAnalysisConfig& cfg,
+                                        const Deployment& dep,
+                                        const RunnerOptions& opts = {});
+
+/// Fused sweep over attackers x destinations: one routing computation set
+/// per pair feeding every selected analysis.
+[[deprecated(
+    "use analyze_sweep(g, make_sweep_plan(attackers, destinations), ...) "
+    ".total; this wrapper will be removed in the next release")]]
 [[nodiscard]] PairStats analyze_pairs(const AsGraph& g,
                                       const std::vector<AsId>& attackers,
                                       const std::vector<AsId>& destinations,
@@ -180,6 +269,9 @@ struct RunnerOptions {
 
 /// Same sweep, but keeping one PairStats per destination (averaged over
 /// the attackers only) — the per-destination quantities of Figures 9-13.
+[[deprecated(
+    "use analyze_sweep(g, make_sweep_plan(attackers, destinations), ...) "
+    ".per_destination; this wrapper will be removed in the next release")]]
 [[nodiscard]] std::vector<PairStats> analyze_pairs_per_destination(
     const AsGraph& g, const std::vector<AsId>& attackers,
     const std::vector<AsId>& destinations, const PairAnalysisConfig& cfg,

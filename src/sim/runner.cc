@@ -45,8 +45,9 @@ MetricBounds estimate_metric(const AsGraph& g,
   PairAnalysisConfig cfg;
   cfg.analyses = Analysis::kHappiness;
   cfg.model = model;
-  return analyze_pairs(g, attackers, destinations, cfg, dep, opts)
-      .happiness.bounds();
+  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
+                       opts)
+      .total.happiness.bounds();
 }
 
 std::vector<MetricBounds> metric_per_destination(
@@ -56,11 +57,12 @@ std::vector<MetricBounds> metric_per_destination(
   PairAnalysisConfig cfg;
   cfg.analyses = Analysis::kHappiness;
   cfg.model = model;
-  const auto per_dest =
-      analyze_pairs_per_destination(g, attackers, destinations, cfg, dep, opts);
-  std::vector<MetricBounds> out(per_dest.size());
-  for (std::size_t di = 0; di < per_dest.size(); ++di) {
-    out[di] = per_dest[di].happiness.bounds();
+  const auto result =
+      analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
+                    opts);
+  std::vector<MetricBounds> out(result.per_destination.size());
+  for (std::size_t di = 0; di < result.per_destination.size(); ++di) {
+    out[di] = result.per_destination[di].happiness.bounds();
   }
   return out;
 }
@@ -76,9 +78,9 @@ PartitionShares average_partitions(const AsGraph& g,
   cfg.lp = lp;
   // Partitions are deployment-invariant; the empty deployment is a
   // placeholder the analysis never reads.
-  return analyze_pairs(g, attackers, destinations, cfg,
+  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg,
                        Deployment(g.num_ases()), opts)
-      .partitions.shares();
+      .total.partitions.shares();
 }
 
 security::DowngradeStats total_downgrades(const AsGraph& g,
@@ -90,7 +92,9 @@ security::DowngradeStats total_downgrades(const AsGraph& g,
   PairAnalysisConfig cfg;
   cfg.analyses = Analysis::kDowngrades;
   cfg.model = model;
-  return analyze_pairs(g, attackers, destinations, cfg, dep, opts).downgrades;
+  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
+                       opts)
+      .total.downgrades;
 }
 
 security::CollateralStats total_collateral(const AsGraph& g,
@@ -102,7 +106,9 @@ security::CollateralStats total_collateral(const AsGraph& g,
   PairAnalysisConfig cfg;
   cfg.analyses = Analysis::kCollateral;
   cfg.model = model;
-  return analyze_pairs(g, attackers, destinations, cfg, dep, opts).collateral;
+  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
+                       opts)
+      .total.collateral;
 }
 
 security::RootCauseStats total_root_causes(const AsGraph& g,
@@ -114,7 +120,9 @@ security::RootCauseStats total_root_causes(const AsGraph& g,
   PairAnalysisConfig cfg;
   cfg.analyses = Analysis::kRootCause;
   cfg.model = model;
-  return analyze_pairs(g, attackers, destinations, cfg, dep, opts).root_causes;
+  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
+                       opts)
+      .total.root_causes;
 }
 
 }  // namespace sbgp::sim

@@ -5,12 +5,13 @@
 // deterministically (seeded) from the chosen attacker set M and destination
 // set D — the metric is a mean over pairs, so a few thousand samples
 // estimate it tightly. Every runner is a thin wrapper over the fused
-// pair-analysis pipeline (sim/pair_analysis.h) with a single analysis
-// selected: it executes on a sim::BatchExecutor (persistent workers,
-// reusable per-worker routing workspaces) and merges per-worker integer
-// partial sums, so results are bit-for-bit independent of the thread count.
-// Studies that need several statistics per pair should call analyze_pairs
-// or run_experiment_suite directly instead of several runners — the fused
+// destination-grouped sweep (sim/pair_analysis.h's analyze_sweep) with a
+// single analysis selected: it executes on a sim::BatchExecutor (persistent
+// workers, reusable per-worker routing workspaces with per-destination
+// baseline caching) and merges per-worker integer partial sums, so results
+// are bit-for-bit independent of the thread count. Studies that need
+// several statistics per pair should call analyze_sweep or
+// run_experiment_suite directly instead of several runners — the fused
 // pass computes each routing outcome once however many analyses are on.
 #ifndef SBGP_SIM_RUNNER_H
 #define SBGP_SIM_RUNNER_H

@@ -72,8 +72,10 @@ TEST_F(ExperimentTest, SuiteMatchesDirectPipelineCalls) {
   PairAnalysisConfig cfg;
   cfg.model = spec.model;
   cfg.analyses = spec.analyses;
-  const auto direct = analyze_pairs(topo_.graph, attackers, destinations,
-                                    cfg, steps[0].deployment);
+  const auto direct =
+      analyze_sweep(topo_.graph, make_sweep_plan(attackers, destinations), cfg,
+                    steps[0].deployment)
+          .total;
   EXPECT_EQ(rows[0].stats.pairs, direct.pairs);
   EXPECT_EQ(rows[0].stats.happiness.happy_lower,
             direct.happiness.happy_lower);

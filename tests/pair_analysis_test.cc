@@ -3,6 +3,7 @@
 // selected analyses, every security model, and both stub modes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -136,7 +137,9 @@ TEST_F(PairAnalysisTest, EveryCombinationMatchesStandaloneAnalyses) {
                      << "model=" << to_string(model) << " stub mode="
                      << static_cast<int>(mode) << " combo=" << int(combo));
         const PairStats fused =
-            analyze_pairs(topo_.graph, attackers_, destinations_, cfg, dep);
+            analyze_sweep(topo_.graph,
+                          make_sweep_plan(attackers_, destinations_), cfg, dep)
+                .total;
         EXPECT_EQ(fused.pairs, expected.pairs);
         if (cfg.analyses.contains(Analysis::kHappiness)) {
           expect_happiness_eq(fused.happiness, expected.happiness);
@@ -172,7 +175,9 @@ TEST_F(PairAnalysisTest, LpkPartitionsFuseWithStandardLadderDowngrades) {
   cfg.analyses = Analysis::kPartitions | Analysis::kDowngrades |
                  Analysis::kCollateral;
   const auto fused =
-      analyze_pairs(topo_.graph, attackers_, destinations_, cfg, dep);
+      analyze_sweep(topo_.graph, make_sweep_plan(attackers_, destinations_),
+                    cfg, dep)
+          .total;
 
   security::PartitionCounts parts;
   security::DowngradeStats downgrades;
@@ -201,7 +206,9 @@ TEST_F(PairAnalysisTest, HysteresisMatchesStandaloneEngine) {
   cfg.analyses = Analysis::kHappiness;
   cfg.hysteresis = true;
   const auto fused =
-      analyze_pairs(topo_.graph, attackers_, destinations_, cfg, dep);
+      analyze_sweep(topo_.graph, make_sweep_plan(attackers_, destinations_),
+                    cfg, dep)
+          .total;
 
   security::HappyTotals expected;
   for (const auto& p : make_attack_pairs(attackers_, destinations_)) {
@@ -221,16 +228,109 @@ TEST_F(PairAnalysisTest, PerDestinationSumsToAggregate) {
   PairAnalysisConfig cfg;
   cfg.model = SecurityModel::kSecurityThird;
   cfg.analyses = Analysis::kHappiness | Analysis::kRootCause;
-  const auto per_dest = analyze_pairs_per_destination(
-      topo_.graph, attackers_, destinations_, cfg, dep);
-  ASSERT_EQ(per_dest.size(), destinations_.size());
+  const auto result = analyze_sweep(
+      topo_.graph, make_sweep_plan(attackers_, destinations_), cfg, dep);
+  ASSERT_EQ(result.per_destination.size(), destinations_.size());
   PairStats merged;
-  for (const auto& s : per_dest) merged += s;
-  const auto aggregate =
-      analyze_pairs(topo_.graph, attackers_, destinations_, cfg, dep);
-  EXPECT_EQ(merged.pairs, aggregate.pairs);
-  expect_happiness_eq(merged.happiness, aggregate.happiness);
-  expect_root_causes_eq(merged.root_causes, aggregate.root_causes);
+  for (const auto& s : result.per_destination) merged += s;
+  EXPECT_EQ(merged.pairs, result.total.pairs);
+  expect_happiness_eq(merged.happiness, result.total.happiness);
+  expect_root_causes_eq(merged.root_causes, result.total.root_causes);
+}
+
+// --- sweep plans -------------------------------------------------------------
+
+TEST(SweepPlanTest, GroupsByDestinationAndSkipsSelfAttacks) {
+  const std::vector<AsId> attackers = {1, 2, 3};
+  const std::vector<AsId> destinations = {2, 3, 4};
+  const auto plan = make_sweep_plan(attackers, destinations);
+  ASSERT_EQ(plan.groups.size(), 3u);  // one group per destination, in order
+  EXPECT_EQ(plan.num_pairs(), 7u);    // 9 minus (2,2) and (3,3)
+  for (std::size_t i = 0; i < plan.groups.size(); ++i) {
+    const auto& grp = plan.groups[i];
+    EXPECT_EQ(grp.destination, destinations[i]);
+    EXPECT_EQ(grp.dest_index, i);
+    for (const auto m : grp.attackers) EXPECT_NE(m, grp.destination);
+  }
+  EXPECT_EQ(plan.groups[0].attackers, (std::vector<AsId>{1, 3}));
+  EXPECT_EQ(plan.groups[1].attackers, (std::vector<AsId>{1, 2}));
+  EXPECT_EQ(plan.groups[2].attackers, (std::vector<AsId>{1, 2, 3}));
+}
+
+TEST(SweepPlanTest, ThrowsWhenNoValidPairRemains) {
+  const std::vector<AsId> only = {5};
+  EXPECT_THROW((void)make_sweep_plan(only, only), std::invalid_argument);
+  EXPECT_THROW((void)make_sweep_plan({}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)make_sweep_plan({1}, {}), std::invalid_argument);
+}
+
+TEST(SweepPlanTest, AnalyzeSweepRejectsBadPlans) {
+  const auto topo = topology::generate_small_internet(100, 4);
+  const Deployment dep(topo.graph.num_ases());
+  PairAnalysisConfig cfg;
+  cfg.analyses = Analysis::kHappiness;
+  EXPECT_THROW((void)analyze_sweep(topo.graph, SweepPlan{}, cfg, dep),
+               std::invalid_argument);
+  SweepPlan pairless;
+  pairless.groups.push_back({7, 0, {}});
+  EXPECT_THROW((void)analyze_sweep(topo.graph, pairless, cfg, dep),
+               std::invalid_argument);
+  SweepPlan self_attack;
+  self_attack.groups.push_back({7, 0, {7, 8}});
+  EXPECT_THROW((void)analyze_sweep(topo.graph, self_attack, cfg, dep),
+               std::invalid_argument);
+}
+
+TEST(SweepPlanTest, MergedStatsIndependentOfGroupOrder) {
+  const auto topo = topology::generate_small_internet(220, 11);
+  util::Rng rng(13);
+  const auto dep = test::random_deployment(topo.graph.num_ases(), 0.4, rng);
+  const auto attackers = sample_ases(non_stub_ases(topo.graph), 4, 5);
+  const auto destinations = sample_ases(all_ases(topo.graph), 4, 6);
+  PairAnalysisConfig cfg;
+  cfg.model = SecurityModel::kSecurityThird;
+  cfg.analyses = AnalysisSet::all();
+
+  const auto plan = make_sweep_plan(attackers, destinations);
+  SweepPlan reversed = plan;
+  std::reverse(reversed.groups.begin(), reversed.groups.end());
+
+  const auto forward = analyze_sweep(topo.graph, plan, cfg, dep);
+  const auto backward = analyze_sweep(topo.graph, reversed, cfg, dep);
+  EXPECT_EQ(forward.total, backward.total);
+  ASSERT_EQ(backward.per_destination.size(), plan.groups.size());
+  for (std::size_t i = 0; i < plan.groups.size(); ++i) {
+    EXPECT_EQ(forward.per_destination[i],
+              backward.per_destination[plan.groups.size() - 1 - i])
+        << "group " << i;
+  }
+}
+
+TEST(SweepPlanTest, DeprecatedWrappersMatchAnalyzeSweep) {
+  // The thin analyze_pairs / analyze_pairs_per_destination wrappers must
+  // stay bit-for-bit equal to analyze_sweep until their removal.
+  const auto topo = topology::generate_small_internet(200, 8);
+  util::Rng rng(3);
+  const auto dep = test::random_deployment(topo.graph.num_ases(), 0.5, rng);
+  const auto attackers = sample_ases(non_stub_ases(topo.graph), 3, 2);
+  const auto destinations = sample_ases(all_ases(topo.graph), 3, 9);
+  PairAnalysisConfig cfg;
+  cfg.model = SecurityModel::kSecuritySecond;
+  cfg.analyses = AnalysisSet::all();
+  const auto result = analyze_sweep(
+      topo.graph, make_sweep_plan(attackers, destinations), cfg, dep);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto flat = analyze_pairs(topo.graph, attackers, destinations, cfg,
+                                  dep);
+  const auto per_dest = analyze_pairs_per_destination(topo.graph, attackers,
+                                                      destinations, cfg, dep);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(flat, result.total);
+  ASSERT_EQ(per_dest.size(), result.per_destination.size());
+  for (std::size_t i = 0; i < per_dest.size(); ++i) {
+    EXPECT_EQ(per_dest[i], result.per_destination[i]) << "destination " << i;
+  }
 }
 
 // --- pair sampling edge cases ----------------------------------------------

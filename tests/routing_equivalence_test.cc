@@ -7,10 +7,14 @@
 // asynchronous activation orders doubles as a check of Theorem 2.1.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "deployment/scenario.h"
 #include "routing/baseline.h"
 #include "routing/engine.h"
 #include "routing/model.h"
 #include "routing/reference.h"
+#include "routing/workspace.h"
 #include "test_support.h"
 #include "topology/generator.h"
 #include "util/rng.h"
@@ -198,6 +202,144 @@ TEST_P(EquivalenceTest, LpkBaselineMatchesReference) {
       } else {
         EXPECT_TRUE(base.reaches_destination(v)) << "k=" << k << " AS " << v;
       }
+    }
+  }
+}
+
+// --- Seeded (baseline-reusing) engine vs full recompute ---------------------
+
+/// Byte-level comparison with per-AS diagnostics: operator== alone would
+/// only say "differs somewhere".
+void expect_outcome_identical(const RoutingOutcome& full,
+                              const RoutingOutcome& seeded) {
+  ASSERT_EQ(full.num_ases(), seeded.num_ases());
+  for (AsId v = 0; v < full.num_ases(); ++v) {
+    SCOPED_TRACE("AS " + std::to_string(v));
+    ASSERT_EQ(full.type(v), seeded.type(v));
+    ASSERT_EQ(full.length(v), seeded.length(v));
+    ASSERT_EQ(full.reaches_destination(v), seeded.reaches_destination(v));
+    ASSERT_EQ(full.reaches_attacker(v), seeded.reaches_attacker(v));
+    ASSERT_EQ(full.secure_route(v), seeded.secure_route(v));
+    ASSERT_EQ(full.next_toward(v, true), seeded.next_toward(v, true));
+    ASSERT_EQ(full.next_toward(v, false), seeded.next_toward(v, false));
+  }
+  EXPECT_TRUE(full == seeded);
+}
+
+/// Runs seeded-vs-full over every admissible model for one (g, dep, d, m)
+/// and checks that inadmissible queries are rejected.
+void check_seeded_pair(const AsGraph& g, const Deployment& dep, AsId d,
+                       AsId m) {
+  EngineWorkspace ws(g.num_ases());
+  RoutingOutcome baseline, full, seeded;
+  for (const SecurityModel model : kAllSecurityModels) {
+    SCOPED_TRACE(std::string(to_string(model)) + " d=" + std::to_string(d) +
+                 " m=" + std::to_string(m));
+    const Query q{d, m, model};
+    compute_routing_into(g, {d, kNoAs, model}, dep, ws, baseline);
+    if (!routing_seed_applicable(q, dep)) {
+      // Only security 1st/2nd with a signed origin is out of domain.
+      EXPECT_TRUE(model == SecurityModel::kSecurityFirst ||
+                  model == SecurityModel::kSecuritySecond);
+      EXPECT_TRUE(dep.signs_origin(d));
+      EXPECT_THROW(compute_routing_seeded_into(g, q, dep, ws, baseline, seeded),
+                   std::invalid_argument);
+      continue;
+    }
+    compute_routing_into(g, q, dep, ws, full);
+    compute_routing_seeded_into(g, q, dep, ws, baseline, seeded);
+    expect_outcome_identical(full, seeded);
+  }
+}
+
+TEST_P(EquivalenceTest, SeededMatchesFullOnRandomGraphs) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed + 9000);
+  const AsGraph g = random_gr_graph(n, rng);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto d = static_cast<AsId>(rng.next_below(n));
+    auto m = static_cast<AsId>(rng.next_below(n));
+    if (m == d) m = (m + 1) % n;
+    const Deployment dep = random_deployment(n, 0.45, rng);
+    check_seeded_pair(g, dep, d, m);
+  }
+}
+
+TEST(SeededEngine, MatchesFullOnEveryRegistryScenario) {
+  // Every deployment shape the experiment registry can produce, in both
+  // stub modes, must be reproduced bit-for-bit by the seeded path.
+  const auto topo = topology::generate_small_internet(220, 12);
+  const auto tiers = topo.classify();
+  const auto n = static_cast<std::uint32_t>(topo.graph.num_ases());
+  util::Rng rng(2013);
+  for (const auto& def : deployment::scenario_registry()) {
+    for (const auto mode :
+         {deployment::StubMode::kFullSbgp, deployment::StubMode::kSimplex}) {
+      const auto steps =
+          def.build(topo.graph, tiers, mode);
+      ASSERT_FALSE(steps.empty()) << def.name;
+      const Deployment& dep = steps.back().deployment;
+      SCOPED_TRACE(std::string(def.name) + " mode=" +
+                   std::to_string(static_cast<int>(mode)));
+      for (int trial = 0; trial < 2; ++trial) {
+        const auto d = static_cast<AsId>(rng.next_below(n));
+        auto m = static_cast<AsId>(rng.next_below(n));
+        if (m == d) m = (m + 1) % n;
+        check_seeded_pair(topo.graph, dep, d, m);
+      }
+    }
+  }
+}
+
+TEST(SeededEngine, RejectsMalformedQueries) {
+  util::Rng rng(5);
+  const AsGraph g = random_gr_graph(30, rng);
+  const Deployment dep(30);
+  EngineWorkspace ws(30);
+  RoutingOutcome baseline, out;
+  compute_routing_into(g, {3, kNoAs, SecurityModel::kInsecure}, dep, ws,
+                       baseline);
+  // No attacker: the seeded path is for attacked queries only.
+  EXPECT_FALSE(routing_seed_applicable({3, kNoAs, SecurityModel::kInsecure},
+                                       dep));
+  EXPECT_THROW(compute_routing_seeded_into(
+                   g, {3, kNoAs, SecurityModel::kInsecure}, dep, ws, baseline,
+                   out),
+               std::invalid_argument);
+  // Attacker == destination.
+  EXPECT_THROW(compute_routing_seeded_into(
+                   g, {3, 3, SecurityModel::kInsecure}, dep, ws, baseline, out),
+               std::invalid_argument);
+  // Baseline sized for a different graph.
+  RoutingOutcome small;
+  small.reset(7);
+  EXPECT_THROW(compute_routing_seeded_into(
+                   g, {3, 4, SecurityModel::kInsecure}, dep, ws, small, out),
+               std::invalid_argument);
+}
+
+TEST(SeededEngine, HysteresisWithPrecomputedNormalMatchesRecomputing) {
+  // The hysteresis overload taking a cached normal outcome must agree with
+  // the self-recomputing overload — the sweep pipeline relies on it.
+  const auto topo = topology::generate_small_internet(180, 33);
+  const auto n = static_cast<std::uint32_t>(topo.graph.num_ases());
+  util::Rng rng(8);
+  const Deployment dep = random_deployment(n, 0.5, rng);
+  EngineWorkspace ws(n);
+  RoutingOutcome normal, recomputed, precomputed;
+  for (const SecurityModel model : kAllSecurityModels) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto d = static_cast<AsId>(rng.next_below(n));
+      auto m = static_cast<AsId>(rng.next_below(n));
+      if (m == d) m = (m + 1) % n;
+      const Query q{d, m, model};
+      compute_routing_into(topo.graph, {d, kNoAs, model}, dep, ws, normal);
+      compute_routing_with_hysteresis_into(topo.graph, q, dep, ws, recomputed);
+      compute_routing_with_hysteresis_into(topo.graph, q, dep, ws, normal,
+                                           precomputed);
+      SCOPED_TRACE(std::string(to_string(model)) + " d=" + std::to_string(d) +
+                   " m=" + std::to_string(m));
+      expect_outcome_identical(recomputed, precomputed);
     }
   }
 }
