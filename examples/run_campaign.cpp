@@ -12,9 +12,17 @@
 // (sim/campaign_cache.h) and later identical runs serve every (trial,
 // spec) cell from it without touching the engine; --expect-cached turns a
 // cache miss into a failure — how CI asserts its warm re-run was free.
+// Failed cells (crashed units, injected faults, merge-only misses) are
+// listed on stderr and turn the exit status to 3: the surviving rows are
+// still written, so a re-run against the same cache dir resumes from them.
 //
 //   ./example_run_campaign [topology] [trials] [samples] [csv] [json]
-//                          [--cache-dir DIR] [--expect-cached] [--help]
+//                          [--cache-dir DIR] [--expect-cached] [--strict]
+//                          [--shard I/N] [--merge-only] [--faults SPEC]
+//                          [--help]
+//
+// Exit status: 0 clean, 1 round-trip or --expect-cached failure, 2 usage
+// or configuration error, 3 completed with failed or missing cells.
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -34,7 +42,10 @@ void print_usage(std::ostream& os) {
   os << "usage: example_run_campaign [topology] [trials] [samples]"
         " [csv] [json]\n"
         "                            [--cache-dir DIR] [--expect-cached]"
-        " [--help]\n"
+        " [--strict]\n"
+        "                            [--shard I/N] [--merge-only]"
+        " [--faults SPEC]\n"
+        "                            [--help]\n"
         "\n"
         "  topology   registered topology name (default small-2k)\n"
         "  trials     number of generated topologies (default 2)\n"
@@ -45,6 +56,18 @@ void print_usage(std::ostream& os) {
         "                    result cache under DIR\n"
         "  --expect-cached   fail unless every (trial, spec) cell was a\n"
         "                    cache hit (no engine work)\n"
+        "  --strict          fail fast: rethrow the first unit failure\n"
+        "                    instead of isolating it to its cell\n"
+        "  --shard I/N       compute only the cells assigned to shard I of\n"
+        "                    N (0-based; needs --cache-dir)\n"
+        "  --merge-only      assemble rows purely from cache hits; missing\n"
+        "                    cells are reported, nothing is computed\n"
+        "  --faults SPEC     deterministic fault injection, e.g.\n"
+        "                    'seed=7,unit=0.35,store=0.5' (also read from\n"
+        "                    the SBGP_FAULTS environment variable)\n"
+        "\n"
+        "exit status: 0 clean, 1 round-trip/--expect-cached failure,\n"
+        "             2 usage error, 3 failed or missing cells\n"
         "\n"
         "registered topologies:\n";
   for (const auto& def : sbgp::topology::topology_registry()) {
@@ -56,9 +79,7 @@ void print_usage(std::ostream& os) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace sbgp;
   sim::CampaignSpec campaign;
   campaign.topology = "small-2k";
@@ -77,13 +98,46 @@ int main(int argc, char** argv) {
       expect_cached = true;
       continue;
     }
-    if (arg == "--cache-dir") {
+    if (arg == "--strict") {
+      campaign.strict = true;
+      continue;
+    }
+    if (arg == "--merge-only") {
+      campaign.merge_only = true;
+      continue;
+    }
+    if (arg == "--cache-dir" || arg == "--faults" || arg == "--shard") {
       if (i + 1 >= argc) {
-        std::cerr << "error: --cache-dir needs a directory argument\n\n";
+        std::cerr << "error: " << arg << " needs an argument\n\n";
         print_usage(std::cerr);
         return 2;
       }
-      campaign.cache_dir = argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--cache-dir") {
+        campaign.cache_dir = value;
+      } else if (arg == "--faults") {
+        campaign.fault_spec = sim::parse_fault_spec(value);
+      } else {
+        const std::size_t slash = value.find('/');
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long idx =
+            std::strtoul(value.c_str(), &end, 10);
+        const bool idx_ok = slash != std::string::npos && slash > 0 &&
+                            end == value.c_str() + slash && errno == 0;
+        errno = 0;
+        const unsigned long cnt =
+            idx_ok ? std::strtoul(value.c_str() + slash + 1, &end, 10) : 0;
+        if (!idx_ok || end != value.c_str() + value.size() || errno == ERANGE ||
+            cnt == 0 || idx >= cnt) {
+          std::cerr << "error: --shard wants I/N with 0 <= I < N, got '"
+                    << value << "'\n\n";
+          print_usage(std::cerr);
+          return 2;
+        }
+        campaign.shard_index = idx;
+        campaign.shard_count = cnt;
+      }
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -132,6 +186,12 @@ int main(int argc, char** argv) {
   }
   if (expect_cached && campaign.cache_dir.empty()) {
     std::cerr << "error: --expect-cached needs --cache-dir\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if ((campaign.shard_count > 1 || campaign.merge_only) &&
+      campaign.cache_dir.empty()) {
+    std::cerr << "error: --shard and --merge-only need --cache-dir\n\n";
     print_usage(std::cerr);
     return 2;
   }
@@ -185,6 +245,11 @@ int main(int argc, char** argv) {
     std::cout << "\ncache: " << result.cache_hits << " hit(s), "
               << result.cache_misses << " miss(es) in " << campaign.cache_dir
               << '\n';
+    if (result.cache_store_failures != 0) {
+      std::cout << "cache: " << result.cache_store_failures
+                << " install(s) failed (rows kept; a re-run recomputes "
+                   "them)\n";
+    }
     if (expect_cached && result.cache_misses != 0) {
       std::cerr << "FAIL: --expect-cached, but " << result.cache_misses
                 << " cell(s) missed the cache and ran on the engine\n";
@@ -193,7 +258,8 @@ int main(int argc, char** argv) {
   }
 
   // Serialize, re-read, and verify: a campaign result must survive both
-  // formats byte-exactly.
+  // formats byte-exactly. Partial results are still written — that is
+  // what a resumed or merge-only run builds on.
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
     sim::write_trial_rows_csv(out, result.trial_rows);
@@ -218,5 +284,27 @@ int main(int argc, char** argv) {
     std::cout << "wrote per-trial rows: " << json_path
               << " (round trip verified)\n";
   }
+
+  if (!result.failed_cells.empty()) {
+    for (const auto& f : result.failed_cells) {
+      std::cerr << "failed cell: trial " << f.trial << " spec " << f.spec_index
+                << ": " << f.error << '\n';
+    }
+    std::cerr << result.failed_cells.size()
+              << " cell(s) produced no row; re-run with the same --cache-dir "
+                 "to retry exactly these\n";
+    return 3;
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
 }

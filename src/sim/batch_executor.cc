@@ -1,5 +1,8 @@
 #include "sim/batch_executor.h"
 
+#include <iterator>
+#include <utility>
+
 namespace sbgp::sim {
 
 namespace {
@@ -8,6 +11,17 @@ namespace {
 /// eight chunks per participating worker, at least one index each.
 [[nodiscard]] std::size_t chunk_for(std::size_t count, std::size_t workers) {
   return std::max<std::size_t>(1, count / (workers * 8));
+}
+
+/// Renders the in-flight exception for a UnitFailure record.
+[[nodiscard]] std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 }  // namespace
@@ -52,6 +66,14 @@ void BatchExecutor::drain(Job& job, std::size_t worker) {
       try {
         (*job.task)(worker, i);
       } catch (...) {
+        if (job.failures != nullptr) {
+          // Isolation mode: record and keep draining — a failed unit
+          // costs its own result, never the batch.
+          (*job.failures)[worker].push_back({i, worker,
+                                             describe_current_exception(),
+                                             std::current_exception()});
+          continue;
+        }
         {
           const std::lock_guard<std::mutex> lock(mutex_);
           if (!error_) error_ = std::current_exception();
@@ -93,25 +115,8 @@ void BatchExecutor::worker_main(std::size_t id) {
   }
 }
 
-void BatchExecutor::run(std::size_t count, const Task& task,
-                        std::size_t max_workers) {
-  if (count == 0) return;
-  const std::lock_guard<std::mutex> run_lock(run_mutex_);
-  const std::size_t workers = std::min(effective_workers(max_workers), count);
-
-  if (workers == 1) {
-    // Inline fast path: no pool involvement, natural exception propagation,
-    // and the caller thread reuses workspace(0).
-    for (std::size_t i = 0; i < count; ++i) task(0, i);
-    return;
-  }
-
+void BatchExecutor::run_job(Job& job, std::size_t workers) {
   ensure_started();
-  Job job;
-  job.count = count;
-  job.chunk = chunk_for(count, workers);
-  job.limit = workers;
-  job.task = &task;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stop_.store(false, std::memory_order_relaxed);
@@ -127,7 +132,72 @@ void BatchExecutor::run(std::size_t count, const Task& task,
     done_cv_.wait(lock, [&] { return active_ == 0; });
     job_ = nullptr;
   }
+}
+
+void BatchExecutor::run(std::size_t count, const Task& task,
+                        std::size_t max_workers) {
+  if (count == 0) return;
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const std::size_t workers = std::min(effective_workers(max_workers), count);
+
+  if (workers == 1) {
+    // Inline fast path: no pool involvement, natural exception propagation,
+    // and the caller thread reuses workspace(0).
+    for (std::size_t i = 0; i < count; ++i) task(0, i);
+    return;
+  }
+
+  Job job;
+  job.count = count;
+  job.chunk = chunk_for(count, workers);
+  job.limit = workers;
+  job.task = &task;
+  run_job(job, workers);
   if (error_) std::rethrow_exception(error_);
+}
+
+std::vector<UnitFailure> BatchExecutor::run_isolated(std::size_t count,
+                                                     const Task& task,
+                                                     std::size_t max_workers) {
+  if (count == 0) return {};
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const std::size_t workers = std::min(effective_workers(max_workers), count);
+  std::vector<std::vector<UnitFailure>> failures(workers);
+
+  if (workers == 1) {
+    // Inline fast path, mirroring run(): every index executes, throws are
+    // captured in index order.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        task(0, i);
+      } catch (...) {
+        failures[0].push_back(
+            {i, 0, describe_current_exception(), std::current_exception()});
+      }
+    }
+    return std::move(failures[0]);
+  }
+
+  Job job;
+  job.count = count;
+  job.chunk = chunk_for(count, workers);
+  job.limit = workers;
+  job.task = &task;
+  job.failures = &failures;
+  run_job(job, workers);
+
+  // Merge the per-worker sinks into one index-sorted list so callers see
+  // a deterministic order regardless of which worker drained which chunk.
+  std::vector<UnitFailure> merged;
+  for (auto& sink : failures) {
+    merged.insert(merged.end(), std::make_move_iterator(sink.begin()),
+                  std::make_move_iterator(sink.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const UnitFailure& a, const UnitFailure& b) {
+              return a.index < b.index;
+            });
+  return merged;
 }
 
 }  // namespace sbgp::sim

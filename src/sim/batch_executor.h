@@ -28,6 +28,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +41,17 @@ namespace sbgp::sim {
   const auto hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : hw;
 }
+
+/// One task invocation that threw during run_isolated: which unit, which
+/// worker ran it, the exception itself, and its rendered message (what()
+/// for std::exception, "unknown exception" otherwise). Failures never
+/// cancel other units — every index still executes exactly once.
+struct UnitFailure {
+  std::size_t index = 0;
+  std::size_t worker = 0;
+  std::string message;
+  std::exception_ptr error;
+};
 
 class BatchExecutor {
  public:
@@ -91,18 +103,32 @@ class BatchExecutor {
   /// concurrent run() calls queue on an internal mutex.
   void run(std::size_t count, const Task& task, std::size_t max_workers = 0);
 
+  /// Failure-isolation variant of run(): a throwing task does NOT halt the
+  /// batch. Every index in [0, count) executes exactly once; each throwing
+  /// invocation is captured as a UnitFailure instead of propagating, and
+  /// the collected failures come back sorted by unit index (empty on a
+  /// clean batch). This is the mode fault-tolerant campaigns run on: one
+  /// bad unit costs its own result, never the batch.
+  [[nodiscard]] std::vector<UnitFailure> run_isolated(
+      std::size_t count, const Task& task, std::size_t max_workers = 0);
+
  private:
   struct Job {
     std::size_t count = 0;
     std::size_t chunk = 1;
     std::size_t limit = 0;  // participating workers
     const Task* task = nullptr;
+    /// Per-worker failure sinks; nullptr = fail-fast mode (run()).
+    std::vector<std::vector<UnitFailure>>* failures = nullptr;
     std::atomic<std::size_t> next{0};
   };
 
   void ensure_started();
   void worker_main(std::size_t id);
   void drain(Job& job, std::size_t worker);
+  /// Publishes a filled-in Job to the pool, participates as worker 0, and
+  /// waits for completion. Caller holds run_mutex_.
+  void run_job(Job& job, std::size_t workers);
 
   std::size_t num_workers_;
   std::vector<routing::EngineWorkspace> workspaces_;

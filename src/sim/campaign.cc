@@ -25,15 +25,16 @@ double ratio(std::size_t num, std::size_t den) {
 }
 
 /// Everything one trial owns: its generated topology, the resolver whose
-/// rollout cache the resolved deployments point into, and the readiness
-/// flag pair-analysis units of this trial wait on.
+/// rollout cache the resolved deployments point into, and the readiness /
+/// failure flags pair-analysis units of this trial wait on.
 struct TrialState {
   std::uint64_t seed = 0;
   topology::GeneratedTopology topo;
   topology::TierInfo tiers;
   std::unique_ptr<ExperimentResolver> resolver;
   std::vector<ResolvedExperiment> resolved;
-  std::atomic<bool> ready{false};  // never set if the trial's prep threw
+  std::atomic<bool> ready{false};   // never set if the trial's prep threw
+  std::atomic<bool> failed{false};  // isolation mode: prep threw
 };
 
 }  // namespace
@@ -109,7 +110,8 @@ std::vector<CampaignRow> aggregate_trial_rows(
 CampaignResult run_campaign(const CampaignSpec& campaign,
                             const RunnerOptions& opts) {
   // Validate everything name-shaped before spawning any work, so a typo'd
-  // campaign fails fast with the registry contents in the message.
+  // campaign fails fast with the registry contents in the message —
+  // configuration errors are never "failed cells".
   (void)topology::topology_params(campaign.topology);
   if (campaign.trials == 0) {
     throw std::invalid_argument("run_campaign: trials must be >= 1");
@@ -134,6 +136,22 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
           "'; available: " + deployment::scenario_names());
     }
   }
+  const std::size_t shard_count = std::max<std::size_t>(campaign.shard_count, 1);
+  if (campaign.shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "run_campaign: shard index " + std::to_string(campaign.shard_index) +
+        " out of range for " + std::to_string(shard_count) + " shard(s)");
+  }
+  if (shard_count > 1 && campaign.cache_dir.empty()) {
+    throw std::invalid_argument(
+        "run_campaign: sharded execution needs cache_dir — shards meet "
+        "only through the shared cache directory");
+  }
+  if (campaign.merge_only && campaign.cache_dir.empty()) {
+    throw std::invalid_argument(
+        "run_campaign: merge_only assembles rows from cache hits and "
+        "needs cache_dir");
+  }
 
   const std::size_t num_trials = campaign.trials;
   const std::size_t num_specs = campaign.experiments.size();
@@ -145,15 +163,12 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
     states[t].seed = topology::trial_seed(campaign.seed, campaign.topology, t);
   }
 
-  // Cache consult: every (trial, spec) cell whose row is already stored
-  // under (topology fingerprint, trial seed, spec fingerprint) skips
-  // straight to row emission — it contributes no prep and no pair units,
-  // and a trial whose every cell hits is never even generated.
-  std::unique_ptr<CampaignCache> cache;
+  // Cell keys and their fingerprints are computed unconditionally: they
+  // drive the cache, shard assignment, AND deterministic fault injection,
+  // which must fire identically with or without a cache directory.
   std::vector<CacheKey> keys(num_cells);
-  std::vector<std::optional<ExperimentRow>> cached(num_cells);
-  if (!campaign.cache_dir.empty()) {
-    cache = std::make_unique<CampaignCache>(campaign.cache_dir);
+  std::vector<std::uint64_t> cell_fps(num_cells);
+  {
     const std::uint64_t topo_fp = topology::spec_fingerprint(
         topology::topology_params(campaign.topology));
     std::vector<std::uint64_t> spec_fps(num_specs);
@@ -163,16 +178,78 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
     for (std::size_t cell = 0; cell < num_cells; ++cell) {
       keys[cell] = {topo_fp, states[cell / num_specs].seed,
                     spec_fps[cell % num_specs]};
-      cached[cell] = cache->lookup(keys[cell]);
+      cell_fps[cell] = cache_key_fingerprint(keys[cell]);
+    }
+  }
+  const auto in_shard = [&](std::size_t cell) {
+    return campaign.merge_only || shard_count <= 1 ||
+           cell_fps[cell] % shard_count == campaign.shard_index;
+  };
+
+  const FaultInjector injector(campaign.fault_spec.enabled
+                                   ? campaign.fault_spec
+                                   : fault_spec_from_env());
+
+  // Cache consult: every in-shard (trial, spec) cell whose row is already
+  // stored under (topology fingerprint, trial seed, spec fingerprint)
+  // skips straight to row emission — it contributes no prep and no pair
+  // units, and a trial whose every cell hits is never even generated.
+  std::unique_ptr<CampaignCache> cache;
+  std::vector<std::optional<ExperimentRow>> cached(num_cells);
+  if (!campaign.cache_dir.empty()) {
+    cache = std::make_unique<CampaignCache>(campaign.cache_dir);
+    if (injector.enabled()) cache->set_fault_injector(&injector);
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      if (in_shard(cell)) cached[cell] = cache->lookup(keys[cell]);
     }
   }
 
-  // The cells and trials that still need engine work.
+  CampaignResult result;
+  result.label = campaign.label.empty() ? campaign.topology : campaign.label;
+  result.topology = campaign.topology;
+  result.seed = campaign.seed;
+
+  if (campaign.merge_only) {
+    // Assembly without execution: hits become rows, misses become
+    // structured failures — the caller decides whether an incomplete
+    // merge is an error (the CLI exits non-zero listing them).
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      const std::size_t t = cell / num_specs;
+      const std::size_t s = cell % num_specs;
+      if (cached[cell].has_value()) {
+        CampaignTrialRow tr;
+        tr.topology = campaign.topology;
+        tr.trial = t;
+        tr.topology_seed = states[t].seed;
+        tr.spec_index = s;
+        tr.row = std::move(*cached[cell]);
+        result.trial_rows.push_back(std::move(tr));
+      } else {
+        result.failed_cells.push_back(
+            {t, s,
+             "not in cache: " + cache_entry_name(keys[cell]) +
+                 " missing from '" + campaign.cache_dir + "'"});
+      }
+    }
+    result.rows = aggregate_trial_rows(result.trial_rows);
+    for (auto& row : result.rows) {
+      for (const auto& f : result.failed_cells) {
+        if (f.spec_index == row.spec_index) ++row.failed_trials;
+      }
+    }
+    const auto cache_stats = cache->stats();
+    result.cache_hits = cache_stats.hits;
+    result.cache_misses = cache_stats.misses;
+    return result;
+  }
+
+  // The cells and trials that still need engine work: in this shard and
+  // not served from cache.
   std::vector<std::size_t> active_cells;
   std::vector<std::size_t> active_index(num_cells, kNotActive);
   active_cells.reserve(num_cells);
   for (std::size_t cell = 0; cell < num_cells; ++cell) {
-    if (!cached[cell].has_value()) {
+    if (in_shard(cell) && !cached[cell].has_value()) {
       active_index[cell] = active_cells.size();
       active_cells.push_back(cell);
     }
@@ -220,13 +297,76 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
   std::vector<std::uint64_t> cell_tokens(active_cells.size());
   for (auto& token : cell_tokens) token = next_sweep_context();
 
+  // Per-cell completion machinery for incremental checkpointing: a cell's
+  // units count down `cell_remaining`; the unit that brings it to zero —
+  // necessarily after every other unit of the cell succeeded, since
+  // failing units never decrement — merges the per-worker partials in
+  // worker order (bit-for-bit deterministic) and installs the row into
+  // the cache immediately. A SIGKILL therefore loses only in-flight
+  // cells. `cell_failed` marks cells whose trial prep failed, so their
+  // trivially-completing units cannot install a garbage row.
+  std::vector<std::atomic<std::size_t>> cell_remaining(active_cells.size());
+  std::vector<std::atomic<bool>> cell_failed(active_cells.size());
+  std::vector<std::atomic<bool>> cell_done(active_cells.size());
+  std::vector<ExperimentRow> cell_rows(active_cells.size());
+  for (std::size_t k = 0; k < active_cells.size(); ++k) {
+    const auto& spec = campaign.experiments[active_cells[k] % num_specs];
+    cell_remaining[k].store(spec.num_attackers * spec.num_destinations,
+                            std::memory_order_relaxed);
+    cell_failed[k].store(false, std::memory_order_relaxed);
+    cell_done[k].store(false, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> store_failures{0};
+
+  const bool strict = campaign.strict;
+
   // Readiness handshake: pair units of a not-yet-prepared trial block on
-  // ready_cv rather than spinning (this box may oversubscribe cores). A
-  // failed prep — or any throwing unit — raises `abort` and notifies, so
-  // no waiter outlives the batch; the executor rethrows the first error.
+  // ready_cv rather than spinning (this box may oversubscribe cores). In
+  // strict mode any throwing unit raises `abort` and notifies, so no
+  // waiter outlives the batch and the executor rethrows the first error;
+  // in isolation mode a failed prep marks its trial `failed` instead, so
+  // only that trial's waiters wake and give up while everything else
+  // keeps running.
   std::mutex ready_mutex;
   std::condition_variable ready_cv;
   std::atomic<bool> abort{false};
+
+  const auto make_trial_row = [&](std::size_t cell,
+                                  ExperimentRow row) -> CampaignTrialRow {
+    CampaignTrialRow tr;
+    tr.topology = campaign.topology;
+    tr.trial = cell / num_specs;
+    tr.topology_seed = states[cell / num_specs].seed;
+    tr.spec_index = cell % num_specs;
+    tr.row = std::move(row);
+    return tr;
+  };
+
+  /// Marks one unit of cell k complete; the last one merges and installs.
+  const auto finish_unit = [&](std::size_t k) {
+    if (cell_remaining[k].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    if (cell_failed[k].load(std::memory_order_acquire)) return;
+    const std::size_t cell = active_cells[k];
+    ExperimentRow row =
+        states[cell / num_specs].resolved[cell % num_specs].header;
+    // Merge per-worker integer partials in worker order — bit-for-bit
+    // identical for any worker count, and identical to analyze_sweep.
+    for (std::size_t w = 0; w < workers; ++w) row.stats += accs[w][k];
+    cell_rows[k] = std::move(row);
+    cell_done[k].store(true, std::memory_order_release);
+    if (cache != nullptr) {
+      // A failed install (full disk, injected store fault) must not
+      // discard the result — the engine work is done. Count it and move
+      // on; the next run simply recomputes what was not persisted.
+      try {
+        cache->store(keys[cell], make_trial_row(cell, cell_rows[k]));
+      } catch (const std::runtime_error&) {
+        store_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
 
   const auto task = [&](std::size_t worker, std::size_t unit) {
     try {
@@ -243,7 +383,7 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
         // and a partially-warm trial skips the dead rollout/sampling work.
         st.resolved.resize(num_specs);
         for (std::size_t s = 0; s < num_specs; ++s) {
-          if (!cached[trial * num_specs + s].has_value()) {
+          if (active_index[trial * num_specs + s] != kNotActive) {
             st.resolved[s] = st.resolver->resolve(campaign.experiments[s]);
           }
         }
@@ -260,14 +400,31 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
       const std::size_t cell = active_cells[k];
       const std::size_t trial = cell / num_specs;
       TrialState& st = states[trial];
-      if (!st.ready.load(std::memory_order_acquire)) {
+      if (!st.ready.load(std::memory_order_acquire) &&
+          !st.failed.load(std::memory_order_acquire)) {
         std::unique_lock<std::mutex> lock(ready_mutex);
         ready_cv.wait(lock, [&] {
           return st.ready.load(std::memory_order_acquire) ||
+                 st.failed.load(std::memory_order_acquire) ||
                  abort.load(std::memory_order_relaxed);
         });
       }
       if (abort.load(std::memory_order_relaxed)) return;
+      if (st.failed.load(std::memory_order_acquire)) {
+        // Isolation mode: the whole trial is failed by its prep — mark the
+        // cell so the countdown cannot install a row, then count this unit
+        // done (it has nothing to compute).
+        cell_failed[k].store(true, std::memory_order_release);
+        finish_unit(k);
+        return;
+      }
+      // Deterministic fault injection, keyed by the cell's stable
+      // fingerprint: every unit of a doomed cell throws, on every worker
+      // count, with or without a cache — so a faulted run fails the exact
+      // same cells everywhere.
+      injector.maybe_throw(FaultSite::kAnalysisUnit, cell_fps[cell],
+                           "analysis unit of trial " + std::to_string(trial) +
+                               " spec " + std::to_string(cell % num_specs));
       const std::size_t cell_begin = k == 0 ? num_prep : cell_end[k - 1];
       const std::size_t slot = unit - cell_begin;
       const ResolvedExperiment& re = st.resolved[cell % num_specs];
@@ -278,68 +435,93 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
           campaign.experiments[cell % num_specs].num_attackers;
       const std::size_t a = slot % grid_rows;
       const std::size_t d = slot / grid_rows;
-      if (a >= re.attackers.size() || d >= re.destinations.size()) return;
-      if (re.attackers[a] == re.destinations[d]) return;
-      accumulate_pair_into(st.topo.graph, re.destinations[d], re.attackers[a],
-                           re.cfg, *re.deployment, exec.workspace(worker),
-                           cell_tokens[k], accs[worker][k]);
+      if (a < re.attackers.size() && d < re.destinations.size() &&
+          re.attackers[a] != re.destinations[d]) {
+        accumulate_pair_into(st.topo.graph, re.destinations[d],
+                             re.attackers[a], re.cfg, *re.deployment,
+                             exec.workspace(worker), cell_tokens[k],
+                             accs[worker][k]);
+      }
+      finish_unit(k);
     } catch (...) {
       // The store must happen under the mutex, or a waiter between its
       // predicate check and its sleep would miss this (final) wakeup.
       {
         const std::lock_guard<std::mutex> lock(ready_mutex);
-        abort.store(true, std::memory_order_relaxed);
+        if (strict) {
+          abort.store(true, std::memory_order_relaxed);
+        } else if (unit < num_prep) {
+          states[active_trials[unit]].failed.store(true,
+                                                   std::memory_order_release);
+        }
       }
       ready_cv.notify_all();
       throw;
     }
   };
-  exec.run(total_units, task, workers);
 
-  CampaignResult result;
-  result.label =
-      campaign.label.empty() ? campaign.topology : campaign.label;
-  result.topology = campaign.topology;
-  result.seed = campaign.seed;
-  result.trial_rows.reserve(num_cells);
-  bool store_failed = false;
-  for (std::size_t t = 0; t < num_trials; ++t) {
-    for (std::size_t s = 0; s < num_specs; ++s) {
-      const std::size_t cell = t * num_specs + s;
-      CampaignTrialRow tr;
-      tr.topology = campaign.topology;
-      tr.trial = t;
-      tr.topology_seed = states[t].seed;
-      tr.spec_index = s;
-      if (cached[cell].has_value()) {
-        tr.row = std::move(*cached[cell]);
-      } else {
-        tr.row = states[t].resolved[s].header;
-        // Merge per-worker integer partials in worker order — bit-for-bit
-        // identical for any worker count, and identical to analyze_sweep.
-        for (std::size_t w = 0; w < workers; ++w) {
-          tr.row.stats += accs[w][active_index[cell]];
-        }
-        if (cache != nullptr && !store_failed) {
-          // A failed store (full disk, permissions) must not discard the
-          // result — all engine work is already done. Skip the remaining
-          // stores (the same failure would repeat) and return the rows;
-          // the next run simply recomputes what was not persisted.
-          try {
-            cache->store(keys[cell], tr);
-          } catch (const std::runtime_error&) {
-            store_failed = true;
-          }
-        }
+  std::vector<UnitFailure> unit_failures;
+  if (strict) {
+    exec.run(total_units, task, workers);
+  } else {
+    unit_failures = exec.run_isolated(total_units, task, workers);
+  }
+
+  // Map unit failures onto cells: a prep failure fails every active cell
+  // of its trial; a pair-unit failure fails its own cell. The first
+  // failure (lowest unit index — run_isolated returns them sorted) wins
+  // the cell's error message.
+  std::vector<std::string> cell_error(active_cells.size());
+  std::vector<std::string> trial_error(num_trials);
+  for (const auto& f : unit_failures) {
+    if (f.index < num_prep) {
+      const std::size_t trial = active_trials[f.index];
+      if (trial_error[trial].empty()) {
+        trial_error[trial] = "trial preparation failed: " + f.message;
       }
-      result.trial_rows.push_back(std::move(tr));
+    } else {
+      const std::size_t k = static_cast<std::size_t>(
+          std::upper_bound(cell_end.begin(), cell_end.end(), f.index) -
+          cell_end.begin());
+      if (cell_error[k].empty()) cell_error[k] = f.message;
     }
   }
-  result.rows = aggregate_trial_rows(result.trial_rows);
-  if (cache != nullptr) {
-    result.cache_hits = cache->stats().hits;
-    result.cache_misses = cache->stats().misses;
+
+  result.trial_rows.reserve(num_cells);
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    if (!in_shard(cell)) continue;
+    if (cached[cell].has_value()) {
+      result.trial_rows.push_back(
+          make_trial_row(cell, std::move(*cached[cell])));
+      continue;
+    }
+    const std::size_t k = active_index[cell];
+    if (cell_done[k].load(std::memory_order_acquire)) {
+      result.trial_rows.push_back(
+          make_trial_row(cell, std::move(cell_rows[k])));
+      continue;
+    }
+    // Not cached, not completed: in isolation mode every such cell maps
+    // to a captured failure (its own unit's, or its trial prep's).
+    std::string error = !cell_error[k].empty()
+                            ? cell_error[k]
+                            : trial_error[cell / num_specs];
+    if (error.empty()) error = "cell did not complete";
+    result.failed_cells.push_back(
+        {cell / num_specs, cell % num_specs, std::move(error)});
   }
+  result.rows = aggregate_trial_rows(result.trial_rows);
+  for (auto& row : result.rows) {
+    for (const auto& f : result.failed_cells) {
+      if (f.spec_index == row.spec_index) ++row.failed_trials;
+    }
+  }
+  if (cache != nullptr) {
+    const auto cache_stats = cache->stats();
+    result.cache_hits = cache_stats.hits;
+    result.cache_misses = cache_stats.misses;
+  }
+  result.cache_store_failures = store_failures.load(std::memory_order_relaxed);
   return result;
 }
 

@@ -21,6 +21,16 @@
 // order, so per-trial rows are bit-for-bit identical to independent
 // run_experiment_suite calls on the same generated topologies, for any
 // worker count.
+//
+// Fault tolerance: by default a throwing unit fails only its own (trial,
+// spec) cell (BatchExecutor::run_isolated); every other cell completes,
+// is checkpointed into the cache the moment it finishes, and the failures
+// come back as structured CampaignResult::failed_cells. Since failures
+// are never cached and surviving rows never depend on them, a crashed,
+// killed, or fault-injected run followed by a re-run with the same
+// cache_dir converges to rows byte-identical to an undisturbed run.
+// Sharded execution (shard i of N by cache-key fingerprint) and
+// merge-only assembly build distributed campaigns on the same cache.
 #ifndef SBGP_SIM_CAMPAIGN_H
 #define SBGP_SIM_CAMPAIGN_H
 
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/fault_injection.h"
 #include "util/stats.h"
 
 namespace sbgp::sim {
@@ -50,9 +61,38 @@ struct CampaignSpec {
   /// run_campaign consults it per (trial, spec) cell before enqueuing the
   /// cell's pair grid — hits skip engine work entirely (a trial whose
   /// every cell hits is not even generated) — and persists every computed
-  /// row after the run. Rows served from cache are byte-identical to
+  /// cell the moment it completes (fsync + atomic rename, so a killed
+  /// process loses only in-flight cells and an identical re-run resumes
+  /// from the hits). Rows served from cache are byte-identical to
   /// recomputed ones (the store round-trips raw integer counters).
   std::string cache_dir;
+  /// Fail fast (the pre-isolation behavior): the first throwing unit
+  /// aborts the whole batch and run_campaign rethrows it. Default is
+  /// failure isolation — a throwing unit fails only its own (trial, spec)
+  /// cell, every other cell completes and persists, and the failures come
+  /// back in CampaignResult::failed_cells.
+  bool strict = false;
+  /// Sharded execution: with shard_count >= 2, this process computes only
+  /// the (trial, spec) cells whose cache-key fingerprint maps to
+  /// shard_index (cache_key_fingerprint(key) mod shard_count — stable
+  /// across processes and platforms), and emits rows for those cells
+  /// only. Requires cache_dir: N shards share one directory, and a
+  /// merge_only run assembles the full row set from it. shard_count 0 or
+  /// 1 = unsharded.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 0;
+  /// Assemble the final rows purely from cache hits: no topology is
+  /// generated and no engine runs. Cells absent from the cache are
+  /// reported in CampaignResult::failed_cells ("not in cache") instead of
+  /// computed. Requires cache_dir; ignores sharding (a merge covers every
+  /// cell).
+  bool merge_only = false;
+  /// Deterministic fault injection (sim/fault_injection.h) for tests and
+  /// CI resilience jobs. When disabled (the default), the SBGP_FAULTS
+  /// environment variable is consulted instead. Faults never change
+  /// surviving results — failed cells are never cached and never emitted —
+  /// and the spec takes no part in any fingerprint.
+  FaultSpec fault_spec;
 };
 
 /// One (trial, experiment spec) result: the same row run_experiment_suite
@@ -101,10 +141,25 @@ struct CampaignRow {
   std::string label;  // trial 0's row label (step labels can vary per trial)
   std::string topology;
   std::size_t spec_index = 0;
-  std::size_t trials = 0;
+  std::size_t trials = 0;  // trials that produced a row (failed ones don't)
+  /// Cells of this spec that failed (or, merge-only, were missing) and
+  /// therefore contribute nothing to the summaries. trials +
+  /// failed_trials == the campaign's trial count for this spec's scope.
+  std::size_t failed_trials = 0;
   std::array<MetricSummary, kNumCampaignMetrics> metrics;
 
   [[nodiscard]] bool operator==(const CampaignRow&) const = default;
+};
+
+/// One (trial, spec) cell that did not produce a row: a unit of the cell
+/// threw (the first failure's message is kept), its trial's preparation
+/// failed, or — in merge-only mode — the cell was absent from the cache.
+struct FailedCell {
+  std::size_t trial = 0;
+  std::size_t spec_index = 0;
+  std::string error;
+
+  [[nodiscard]] bool operator==(const FailedCell&) const = default;
 };
 
 /// Everything a campaign produced: per-trial rows in (trial-major, spec
@@ -116,10 +171,21 @@ struct CampaignResult {
   std::vector<CampaignTrialRow> trial_rows;
   std::vector<CampaignRow> rows;
   /// Cache outcome of this run (both 0 when CampaignSpec::cache_dir was
-  /// empty): hits + misses == trials x experiments, and misses is exactly
-  /// the number of (trial, spec) cells that ran on the engine.
+  /// empty): hits + misses == the cells this run was responsible for (all
+  /// trials x experiments unsharded; this shard's cells otherwise), and
+  /// misses is the number of cells that ran on the engine (or, merge-only,
+  /// were found missing).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Cells that produced no row, in (trial, spec) order. Empty on a clean
+  /// run, and always empty in strict mode (the failure was rethrown
+  /// instead). Failures are never cached, so re-running the campaign with
+  /// the same cache_dir retries exactly these cells.
+  std::vector<FailedCell> failed_cells;
+  /// Completed cells whose cache install failed (disk full, injected
+  /// store fault). Their rows are still returned; only the checkpoint was
+  /// lost, so an identical re-run recomputes just those cells.
+  std::size_t cache_store_failures = 0;
 };
 
 /// Groups per-trial rows by spec index and summarizes every derived metric
@@ -131,9 +197,13 @@ struct CampaignResult {
 
 /// Runs the whole campaign on one BatchExecutor submission (see file
 /// comment), consulting the result cache first when cache_dir is set.
-/// Throws std::invalid_argument — naming the registered topologies /
-/// scenarios — on unknown names, and on empty trial or experiment lists,
-/// explicit attacker/destination AS lists, empty analysis sets, or
+/// Unit failures are isolated per (trial, spec) cell unless
+/// campaign.strict is set (then the first failure is rethrown, as every
+/// failure during spec validation always is). Throws
+/// std::invalid_argument — naming the registered topologies / scenarios —
+/// on unknown names, and on empty trial or experiment lists, explicit
+/// attacker/destination AS lists, empty analysis sets, bad shard or
+/// merge-only configurations, or (from trial preparation, strict mode)
 /// out-of-range rollout steps.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& campaign,
                                           const RunnerOptions& opts = {});

@@ -12,22 +12,34 @@
 // losslessly (sim/campaign_io.h), a warm re-run emits bytes identical to
 // the cold run — the property the CI regression gate asserts.
 //
+// The cache doubles as the campaign's crash-safe checkpoint: run_campaign
+// installs every cell the moment it completes, so a killed process loses
+// only in-flight cells and an unchanged re-run resumes from the hits.
+// Installs are durable and concurrency-safe: the entry bytes are written
+// to a temp file, fsync'd (file, then directory) and renamed into place
+// under a per-entry advisory lock file, so neither a crash nor a second
+// process sharing the directory (sharded runs) can tear or clobber an
+// entry. If rename fails with EXDEV (cache directory straddling a
+// filesystem boundary), the install degrades to copy + unlink and the
+// event is counted, not thrown.
+//
 // Layout: one CSV file per row under the cache directory, named
 // t<topology-fp>-s<trial-seed>-e<spec-fp>.csv (hex), each holding the
-// standard per-trial header plus exactly one row. Files are written to a
-// temporary name and renamed into place, so a crashed or concurrent writer
-// never leaves a half-written entry under a valid key. Entries that fail
-// to parse, hold the wrong row count, or disagree with their key are
-// rejected (counted, treated as misses) rather than served.
+// standard per-trial header plus exactly one row, next to its
+// .lock advisory file. Entries that fail to parse, hold the wrong row
+// count, or disagree with their key are rejected (counted, treated as
+// misses) rather than served.
 #ifndef SBGP_SIM_CAMPAIGN_CACHE_H
 #define SBGP_SIM_CAMPAIGN_CACHE_H
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "sim/campaign.h"
+#include "sim/fault_injection.h"
 
 namespace sbgp::sim {
 
@@ -44,9 +56,15 @@ struct CacheKey {
 /// File name of a key's cache entry (relative to the cache directory).
 [[nodiscard]] std::string cache_entry_name(const CacheKey& key);
 
-/// A directory of per-trial rows keyed by CacheKey. Lookup/store are safe
-/// against concurrent writers of the same directory (atomic rename), but a
-/// single CampaignCache object is not itself thread-safe.
+/// Stable 64-bit fingerprint of the whole key triple — the globally
+/// unique work-unit id behind shard assignment (shard = fingerprint mod
+/// shard count) and deterministic fault injection.
+[[nodiscard]] std::uint64_t cache_key_fingerprint(const CacheKey& key);
+
+/// A directory of per-trial rows keyed by CacheKey. Safe against
+/// concurrent writers of the same directory — including other processes
+/// (per-entry advisory locks + atomic rename) — and lookup()/store() may
+/// be called concurrently on one object (internal stats are locked).
 class CampaignCache {
  public:
   /// Opens (creating if needed) the cache directory. Throws
@@ -62,9 +80,12 @@ class CampaignCache {
   /// in stats().corrupt and reported as a miss, never served.
   [[nodiscard]] std::optional<ExperimentRow> lookup(const CacheKey& key);
 
-  /// Persists one computed trial row under `key` (write-to-temp + rename,
-  /// so readers never observe a partial entry). Throws std::runtime_error
-  /// on I/O failure.
+  /// Persists one computed trial row under `key`: temp write, fsync of
+  /// file and directory, atomic rename — all under the entry's advisory
+  /// lock. If another process already installed the entry while we held
+  /// the engine work, the install is skipped (counted in
+  /// stats().already_present) rather than clobbered. Throws
+  /// std::runtime_error on I/O failure.
   void store(const CacheKey& key, const CampaignTrialRow& row);
 
   struct Stats {
@@ -72,14 +93,28 @@ class CampaignCache {
     std::size_t misses = 0;   // includes corrupt entries
     std::size_t corrupt = 0;  // rejected (unparseable / key-mismatched)
     std::size_t stores = 0;
+    /// Installs skipped because a concurrent writer got there first.
+    std::size_t already_present = 0;
+    /// Renames that degraded to copy + unlink (EXDEV).
+    std::size_t exdev_fallbacks = 0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
+  /// Routes store() through a fault injector (FaultSite::kCacheWrite,
+  /// keyed by cache_key_fingerprint) — the seam CI's resilience job and
+  /// the checkpoint tests use to fail installs deterministically. Pass
+  /// nullptr to detach; the injector must outlive its registration.
+  void set_fault_injector(const FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+
  private:
   std::string dir_;
+  mutable std::mutex stats_mutex_;
   Stats stats_;
+  const FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace sbgp::sim

@@ -78,6 +78,13 @@ DiffReport diff_campaign_rows(const std::vector<CampaignRow>& baseline,
       report.divergences.push_back(
           {id, "trials", std::to_string(a.trials), std::to_string(b.trials)});
     }
+    // Exact, like trials: a candidate that silently dropped cells must not
+    // pass the gate just because the surviving means stayed in tolerance.
+    if (a.failed_trials != b.failed_trials) {
+      report.divergences.push_back({id, "failed_trials",
+                                    std::to_string(a.failed_trials),
+                                    std::to_string(b.failed_trials)});
+    }
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
       const auto va = summary_values(a.metrics[m]);
       const auto vb = summary_values(b.metrics[m]);

@@ -152,10 +152,14 @@ struct JsonValue {
   std::vector<JsonValue> array;
   std::vector<std::pair<std::string, JsonValue>> object;
 
-  [[nodiscard]] const JsonValue& at(std::string_view key) const {
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
     for (const auto& [k, v] : object) {
-      if (k == key) return v;
+      if (k == key) return &v;
     }
+    return nullptr;
+  }
+  [[nodiscard]] const JsonValue& at(std::string_view key) const {
+    if (const JsonValue* v = find(key)) return *v;
     throw std::invalid_argument("campaign_io: missing JSON key '" +
                                 std::string(key) + "'");
   }
@@ -500,7 +504,8 @@ std::vector<CampaignTrialRow> read_trial_rows_json(std::istream& is) {
 
 void write_campaign_rows_csv(std::ostream& os,
                              const std::vector<CampaignRow>& rows) {
-  std::vector<std::string> fields = {"label", "topology", "spec", "trials"};
+  std::vector<std::string> fields = {"label", "topology", "spec", "trials",
+                                     "failed_trials"};
   for (const auto metric : campaign_metric_names()) {
     for (const auto part : kSummaryParts) {
       fields.push_back(std::string(metric) + '_' + std::string(part));
@@ -513,6 +518,7 @@ void write_campaign_rows_csv(std::ostream& os,
     fields.push_back(r.topology);
     fields.push_back(std::to_string(r.spec_index));
     fields.push_back(std::to_string(r.trials));
+    fields.push_back(std::to_string(r.failed_trials));
     for (const auto& m : r.metrics) {
       for (const double v : summary_values(m)) {
         fields.push_back(format_double(v));
@@ -528,22 +534,33 @@ std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
   if (!ok) {
     throw std::invalid_argument("read_campaign_rows_csv: empty input");
   }
-  std::vector<std::string> expected = {"label", "topology", "spec", "trials"};
+  // Accept both the current schema and the pre-failed_trials one, so
+  // baselines written before the column existed keep parsing (they imply
+  // failed_trials == 0, which is what a baseline should have anyway).
+  std::vector<std::string> expected = {"label", "topology", "spec", "trials",
+                                       "failed_trials"};
+  std::vector<std::string> legacy = {"label", "topology", "spec", "trials"};
   for (const auto metric : campaign_metric_names()) {
     for (const auto part : kSummaryParts) {
       expected.push_back(std::string(metric) + '_' + std::string(part));
+      legacy.push_back(std::string(metric) + '_' + std::string(part));
     }
   }
-  if (split_csv_line(header) != expected) {
+  const auto header_fields = split_csv_line(header);
+  bool has_failed_trials = true;
+  if (header_fields == legacy) {
+    has_failed_trials = false;
+  } else if (header_fields != expected) {
     throw std::invalid_argument("read_campaign_rows_csv: header mismatch");
   }
+  const std::size_t arity = has_failed_trials ? expected.size() : legacy.size();
   std::vector<CampaignRow> rows;
   for (;;) {
     const std::string line = read_line(is, ok);
     if (!ok) break;
     if (line.empty()) continue;
     const auto fields = split_csv_line(line);
-    if (fields.size() != expected.size()) {
+    if (fields.size() != arity) {
       throw std::invalid_argument("read_campaign_rows_csv: bad row arity");
     }
     CampaignRow r;
@@ -552,6 +569,9 @@ std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
     r.spec_index = static_cast<std::size_t>(parse_u64(fields[2]));
     r.trials = static_cast<std::size_t>(parse_u64(fields[3]));
     std::size_t f = 4;
+    if (has_failed_trials) {
+      r.failed_trials = static_cast<std::size_t>(parse_u64(fields[f++]));
+    }
     for (auto& m : r.metrics) {
       std::array<double, 4> v;
       for (double& x : v) x = parse_double(fields[f++]);
@@ -570,7 +590,7 @@ void write_campaign_rows_json(std::ostream& os,
     os << "  {\"label\": " << json_escape(r.label)
        << ", \"topology\": " << json_escape(r.topology)
        << ", \"spec\": " << r.spec_index << ", \"trials\": " << r.trials
-       << ", \"metrics\": {";
+       << ", \"failed_trials\": " << r.failed_trials << ", \"metrics\": {";
     const auto& names = campaign_metric_names();
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
       if (m != 0) os << ", ";
@@ -597,6 +617,10 @@ std::vector<CampaignRow> read_campaign_rows_json(std::istream& is) {
     r.topology = obj.at("topology").text;
     r.spec_index = static_cast<std::size_t>(obj.as_u64("spec"));
     r.trials = static_cast<std::size_t>(obj.as_u64("trials"));
+    // Optional for pre-failed_trials files (absent means a clean run).
+    if (obj.find("failed_trials") != nullptr) {
+      r.failed_trials = static_cast<std::size_t>(obj.as_u64("failed_trials"));
+    }
     const JsonValue& metrics = obj.at("metrics");
     const auto& names = campaign_metric_names();
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {

@@ -1,0 +1,105 @@
+// Deterministic fault injection for campaign robustness testing.
+//
+// The fault-tolerant campaign machinery (failure isolation, crash-safe
+// incremental checkpointing, resume-from-cache) is only trustworthy if its
+// recovery paths are exercised — and exercising them with real crashes or
+// random throws makes failures unreproducible. This seam injects faults
+// *deterministically*: whether a given site fires is a pure function of
+// (spec seed, site, cell fingerprint), derived through SplitMix64, so a
+// fault-injected run fails the exact same cells on every machine, at every
+// worker count, in every repetition. That is what lets tests and CI assert
+// the strong property behind the whole design: a faulted run followed by a
+// resume run yields rows byte-identical to an undisturbed run.
+//
+// The injector is compiled in always and disabled by default; it costs one
+// branch on a disabled flag per site. It is enabled either explicitly
+// (CampaignSpec::fault_spec) or via the SBGP_FAULTS environment variable —
+// the latter is how CI's kill-and-resume job perturbs an unmodified
+// example binary.
+#ifndef SBGP_SIM_FAULT_INJECTION_H
+#define SBGP_SIM_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sbgp::sim {
+
+/// Where a fault can be injected. The values are fixed salts mixed into
+/// the firing decision, so the same cell can independently fail at
+/// different sites.
+enum class FaultSite : std::uint64_t {
+  /// Inside a campaign analysis unit: the unit throws FaultInjected before
+  /// doing any engine work, failing its (trial, spec) cell.
+  kAnalysisUnit = 0x616e616c79736973ull,
+  /// Inside CampaignCache::store: the install throws, so the computed row
+  /// is returned but never persisted (the next run recomputes it).
+  kCacheWrite = 0x63616368652d7772ull,
+};
+
+/// A fault-injection configuration: per-site firing rates in [0, 1] plus
+/// the seed that makes firing deterministic. Disabled (the default) means
+/// no site ever fires regardless of rates.
+struct FaultSpec {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  /// Probability that a given (trial, spec) cell's analysis units throw.
+  double unit_rate = 0.0;
+  /// Probability that a given cell's cache install fails.
+  double store_rate = 0.0;
+
+  [[nodiscard]] bool operator==(const FaultSpec&) const = default;
+};
+
+/// Parses a spec string of comma-separated `key=value` fields:
+/// `seed=<u64>`, `unit=<rate>`, `store=<rate>` (any subset, any order; a
+/// non-empty spec is enabled). Throws std::invalid_argument on unknown
+/// keys, malformed numbers, or rates outside [0, 1].
+[[nodiscard]] FaultSpec parse_fault_spec(std::string_view text);
+
+/// FaultSpec from the SBGP_FAULTS environment variable; disabled when the
+/// variable is unset or empty. Parse errors throw (a typo'd injection run
+/// must not silently become an undisturbed one).
+[[nodiscard]] FaultSpec fault_spec_from_env();
+
+/// The exception injected analysis faults throw — distinct from real
+/// errors so tests can assert what failed a cell.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Decides, deterministically, whether a site fires for a given work-unit
+/// fingerprint. Pure and stateless after construction: safe to share
+/// across workers, and the decision is independent of thread count,
+/// scheduling, and call order.
+class FaultInjector {
+ public:
+  /// A disabled injector: should_fire is always false.
+  FaultInjector() = default;
+
+  explicit FaultInjector(const FaultSpec& spec);
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled; }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// True iff `site` fires for the work unit identified by `fingerprint`
+  /// (for campaigns: the cell's cache-key fingerprint). Deterministic in
+  /// (spec, site, fingerprint).
+  [[nodiscard]] bool should_fire(FaultSite site,
+                                 std::uint64_t fingerprint) const noexcept;
+
+  /// Throws FaultInjected (message naming `what`) iff should_fire.
+  void maybe_throw(FaultSite site, std::uint64_t fingerprint,
+                   const std::string& what) const;
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t unit_threshold_ = 0;
+  std::uint64_t store_threshold_ = 0;
+};
+
+}  // namespace sbgp::sim
+
+#endif  // SBGP_SIM_FAULT_INJECTION_H

@@ -287,22 +287,4 @@ SweepResult analyze_sweep(const AsGraph& g, const SweepPlan& plan,
   return res;
 }
 
-PairStats analyze_pairs(const AsGraph& g, const std::vector<AsId>& attackers,
-                        const std::vector<AsId>& destinations,
-                        const PairAnalysisConfig& cfg, const Deployment& dep,
-                        const RunnerOptions& opts) {
-  return analyze_sweep(g, make_sweep_plan(attackers, destinations), cfg, dep,
-                       opts)
-      .total;
-}
-
-std::vector<PairStats> analyze_pairs_per_destination(
-    const AsGraph& g, const std::vector<AsId>& attackers,
-    const std::vector<AsId>& destinations, const PairAnalysisConfig& cfg,
-    const Deployment& dep, const RunnerOptions& opts) {
-  return std::move(analyze_sweep(g, make_sweep_plan(attackers, destinations),
-                                 cfg, dep, opts)
-                       .per_destination);
-}
-
 }  // namespace sbgp::sim

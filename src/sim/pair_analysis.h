@@ -255,28 +255,6 @@ struct SweepResult {
                                         const Deployment& dep,
                                         const RunnerOptions& opts = {});
 
-/// Fused sweep over attackers x destinations: one routing computation set
-/// per pair feeding every selected analysis.
-[[deprecated(
-    "use analyze_sweep(g, make_sweep_plan(attackers, destinations), ...) "
-    ".total; this wrapper will be removed in the next release")]]
-[[nodiscard]] PairStats analyze_pairs(const AsGraph& g,
-                                      const std::vector<AsId>& attackers,
-                                      const std::vector<AsId>& destinations,
-                                      const PairAnalysisConfig& cfg,
-                                      const Deployment& dep,
-                                      const RunnerOptions& opts = {});
-
-/// Same sweep, but keeping one PairStats per destination (averaged over
-/// the attackers only) — the per-destination quantities of Figures 9-13.
-[[deprecated(
-    "use analyze_sweep(g, make_sweep_plan(attackers, destinations), ...) "
-    ".per_destination; this wrapper will be removed in the next release")]]
-[[nodiscard]] std::vector<PairStats> analyze_pairs_per_destination(
-    const AsGraph& g, const std::vector<AsId>& attackers,
-    const std::vector<AsId>& destinations, const PairAnalysisConfig& cfg,
-    const Deployment& dep, const RunnerOptions& opts = {});
-
 }  // namespace sbgp::sim
 
 #endif  // SBGP_SIM_PAIR_ANALYSIS_H

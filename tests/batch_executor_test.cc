@@ -5,6 +5,7 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "routing/model.h"
@@ -79,6 +80,92 @@ TEST(BatchExecutor, ExceptionHaltsRemainingWork) {
                         }),
                std::runtime_error);
   EXPECT_EQ(processed.load(), 6);
+}
+
+TEST(BatchExecutor, RunIsolatedExecutesEveryIndexDespiteFailures) {
+  BatchExecutor exec(4);
+  std::vector<std::atomic<int>> hits(503);
+  const auto failures =
+      exec.run_isolated(hits.size(), [&](std::size_t, std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i % 7 == 0) throw std::runtime_error("unit " + std::to_string(i));
+      });
+  // Every index ran exactly once — a failure costs its own unit, never
+  // the batch.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ASSERT_EQ(failures.size(), (hits.size() + 6) / 7);
+  // Failures come back sorted by index with the throwing unit's message
+  // and the exception itself.
+  for (std::size_t f = 0; f < failures.size(); ++f) {
+    EXPECT_EQ(failures[f].index, f * 7);
+    EXPECT_LT(failures[f].worker, 4u);
+    EXPECT_EQ(failures[f].message, "unit " + std::to_string(f * 7));
+    ASSERT_TRUE(failures[f].error != nullptr);
+    EXPECT_THROW(std::rethrow_exception(failures[f].error),
+                 std::runtime_error);
+  }
+}
+
+TEST(BatchExecutor, RunIsolatedCleanBatchReturnsNoFailures) {
+  BatchExecutor exec(3);
+  std::atomic<int> calls{0};
+  const auto failures = exec.run_isolated(
+      200, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_TRUE(failures.empty());
+  EXPECT_EQ(calls.load(), 200);
+  EXPECT_TRUE(exec.run_isolated(0, [&](std::size_t, std::size_t) {
+                     ++calls;
+                   }).empty());
+  EXPECT_EQ(calls.load(), 200);
+}
+
+TEST(BatchExecutor, RunIsolatedSingleWorkerCapturesInIndexOrder) {
+  // The inline 1-worker fast path must match the pool semantics: all
+  // indices execute, captures are in index order.
+  BatchExecutor exec(1);
+  std::vector<int> hits(50, 0);
+  const auto failures =
+      exec.run_isolated(hits.size(), [&](std::size_t worker, std::size_t i) {
+        EXPECT_EQ(worker, 0u);
+        ++hits[i];
+        if (i == 3 || i == 41) throw std::invalid_argument("pick");
+      });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[0].index, 3u);
+  EXPECT_EQ(failures[1].index, 41u);
+  EXPECT_EQ(failures[0].message, "pick");
+}
+
+TEST(BatchExecutor, RunIsolatedRecordsNonStdExceptions) {
+  BatchExecutor exec(2);
+  const auto failures = exec.run_isolated(4, [&](std::size_t, std::size_t i) {
+    if (i == 2) throw 42;  // NOLINT: deliberately not a std::exception
+  });
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].index, 2u);
+  EXPECT_EQ(failures[0].message, "unknown exception");
+  EXPECT_THROW(std::rethrow_exception(failures[0].error), int);
+}
+
+TEST(BatchExecutor, RunAndRunIsolatedInterleaveOnOnePool) {
+  // Fail-fast and isolation are per-call modes of one pool, not pool
+  // state: a strict batch after an isolated one still rethrows, and the
+  // pool survives both.
+  BatchExecutor exec(4);
+  const auto failures = exec.run_isolated(
+      100, [&](std::size_t, std::size_t i) {
+        if (i % 2 == 0) throw std::runtime_error("even");
+      });
+  EXPECT_EQ(failures.size(), 50u);
+  EXPECT_THROW(exec.run(100,
+                        [&](std::size_t, std::size_t i) {
+                          if (i == 10) throw std::runtime_error("strict");
+                        }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  exec.run(64, [&](std::size_t, std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 64);
 }
 
 TEST(BatchExecutor, WorkspacesPersistAcrossBatches) {

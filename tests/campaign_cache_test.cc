@@ -17,6 +17,7 @@
 #include "sim/campaign.h"
 #include "sim/campaign_cache.h"
 #include "sim/campaign_io.h"
+#include "sim/fault_injection.h"
 #include "topology/registry.h"
 
 namespace sbgp::sim {
@@ -279,6 +280,81 @@ TEST(CampaignCache, AnySpecOrSeedChangeMisses) {
   EXPECT_EQ(r3.cache_misses, extended.experiments.size());
 }
 
+TEST(CampaignCache, InstallLeavesEntryNextToItsLockFile) {
+  const TempDir dir;
+  CampaignCache cache(dir.str());
+  const CacheKey key{111, 222, 333};
+  cache.store(key, synthetic_row(/*topology_seed=*/222));
+  const std::string entry = cache_entry_name(key);
+  EXPECT_TRUE(fs::exists(dir.path() / entry));
+  EXPECT_TRUE(fs::exists(dir.path() / (entry + ".lock")));
+  // No temp file survives a successful install.
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    EXPECT_EQ(e.path().filename().string().find(".tmp"), std::string::npos)
+        << e.path();
+  }
+}
+
+TEST(CampaignCache, SecondInstallOfAValidEntryIsSkipped) {
+  const TempDir dir;
+  CampaignCache cache(dir.str());
+  const CacheKey key{111, 222, 333};
+  const CampaignTrialRow row = synthetic_row(/*topology_seed=*/222);
+  cache.store(key, row);
+  // A concurrent writer (another shard) beat us to it: skip, count, keep
+  // the existing bytes.
+  cache.store(key, row);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().already_present, 1u);
+  ASSERT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(CampaignCache, InstallReplacesACorruptExistingEntry) {
+  const TempDir dir;
+  CampaignCache cache(dir.str());
+  const CacheKey key{111, 222, 333};
+  const CampaignTrialRow row = synthetic_row(/*topology_seed=*/222);
+  {
+    std::ofstream out(dir.path() / cache_entry_name(key));
+    out << "torn copy\n";
+  }
+  // The "already present" skip must not trust a file that would be
+  // rejected at lookup; the install replaces it.
+  cache.store(key, row);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().already_present, 0u);
+  const auto found = cache.lookup(key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, row.row);
+}
+
+TEST(CampaignCache, InjectedStoreFaultThrowsAndPersistsNothing) {
+  const TempDir dir;
+  CampaignCache cache(dir.str());
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.store_rate = 1.0;
+  const FaultInjector injector(spec);
+  cache.set_fault_injector(&injector);
+  const CacheKey key{111, 222, 333};
+  EXPECT_THROW(cache.store(key, synthetic_row(222)), FaultInjected);
+  EXPECT_EQ(cache.stats().stores, 0u);
+  EXPECT_FALSE(fs::exists(dir.path() / cache_entry_name(key)));
+  // Detached, the same store succeeds.
+  cache.set_fault_injector(nullptr);
+  cache.store(key, synthetic_row(222));
+  EXPECT_EQ(cache.stats().stores, 1u);
+}
+
+TEST(CampaignCache, KeyFingerprintIsStableAndSensitive) {
+  const CacheKey key{111, 222, 333};
+  const std::uint64_t fp = cache_key_fingerprint(key);
+  EXPECT_EQ(fp, cache_key_fingerprint(key));
+  EXPECT_NE(fp, cache_key_fingerprint({112, 222, 333}));
+  EXPECT_NE(fp, cache_key_fingerprint({111, 223, 333}));
+  EXPECT_NE(fp, cache_key_fingerprint({111, 222, 334}));
+}
+
 TEST(CampaignCache, CorruptedEntryIsRecomputedEndToEnd) {
   const TempDir dir;
   const CampaignSpec campaign = cached_campaign(dir.str());
@@ -288,7 +364,9 @@ TEST(CampaignCache, CorruptedEntryIsRecomputedEndToEnd) {
   // Truncate one stored entry mid-row.
   std::vector<fs::path> entries;
   for (const auto& e : fs::directory_iterator(dir.path())) {
-    entries.push_back(e.path());
+    // Entries live next to their .lock advisory files; only the .csv
+    // files are rows.
+    if (e.path().extension() == ".csv") entries.push_back(e.path());
   }
   ASSERT_EQ(entries.size(), cells);
   std::sort(entries.begin(), entries.end());

@@ -242,11 +242,13 @@ TEST(Campaign, RejectsBadCampaignsWithRegistryNamesInMessage) {
   EXPECT_THROW((void)run_campaign(no_analyses), std::invalid_argument);
 }
 
-TEST(Campaign, BadRolloutStepSurfacesFromTrialPrep) {
+TEST(Campaign, BadRolloutStepSurfacesFromTrialPrepInStrictMode) {
   // Out-of-range steps are only detectable once the trial's rollout is
-  // built, i.e. inside the batch — the error must still propagate.
+  // built, i.e. inside the batch — in strict mode the error must still
+  // propagate out of run_campaign.
   CampaignSpec campaign = small_campaign(1);
   campaign.experiments[0].rollout_step = 99;
+  campaign.strict = true;
   BatchExecutor executor(4);
   RunnerOptions opts;
   opts.executor = &executor;
@@ -254,6 +256,36 @@ TEST(Campaign, BadRolloutStepSurfacesFromTrialPrep) {
   // The executor must stay usable after the aborted batch.
   const CampaignResult ok = run_campaign(small_campaign(1), opts);
   EXPECT_EQ(ok.trial_rows.size(), small_campaign(1).experiments.size());
+}
+
+TEST(Campaign, BadRolloutStepFailsEveryCellOfItsTrialWhenIsolated) {
+  // Default (isolation) mode: the prep failure of the only trial takes
+  // down all of its cells — pair units must not hang on the readiness
+  // latch — and comes back structured instead of thrown.
+  CampaignSpec campaign = small_campaign(1);
+  campaign.experiments[0].rollout_step = 99;
+  BatchExecutor executor(4);
+  RunnerOptions opts;
+  opts.executor = &executor;
+  const CampaignResult partial = run_campaign(campaign, opts);
+  EXPECT_TRUE(partial.trial_rows.empty());
+  // Every trial failed, so no spec aggregates into a row at all.
+  EXPECT_TRUE(partial.rows.empty());
+  ASSERT_EQ(partial.failed_cells.size(), campaign.experiments.size());
+  for (std::size_t s = 0; s < partial.failed_cells.size(); ++s) {
+    EXPECT_EQ(partial.failed_cells[s].trial, 0u);
+    EXPECT_EQ(partial.failed_cells[s].spec_index, s);
+    EXPECT_NE(partial.failed_cells[s].error.find("trial preparation failed"),
+              std::string::npos)
+        << partial.failed_cells[s].error;
+    EXPECT_NE(partial.failed_cells[s].error.find("rollout step"),
+              std::string::npos)
+        << partial.failed_cells[s].error;
+  }
+  // The executor must stay usable after the isolated batch.
+  const CampaignResult ok = run_campaign(small_campaign(1), opts);
+  EXPECT_EQ(ok.trial_rows.size(), small_campaign(1).experiments.size());
+  EXPECT_TRUE(ok.failed_cells.empty());
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// Fused-pipeline equivalence: analyze_pairs must return bit-for-bit the
+// Fused-pipeline equivalence: analyze_sweep must return bit-for-bit the
 // statistics of the standalone per-pair analyses, for every combination of
 // selected analyses, every security model, and both stub modes.
 #include <gtest/gtest.h>
@@ -303,33 +303,6 @@ TEST(SweepPlanTest, MergedStatsIndependentOfGroupOrder) {
     EXPECT_EQ(forward.per_destination[i],
               backward.per_destination[plan.groups.size() - 1 - i])
         << "group " << i;
-  }
-}
-
-TEST(SweepPlanTest, DeprecatedWrappersMatchAnalyzeSweep) {
-  // The thin analyze_pairs / analyze_pairs_per_destination wrappers must
-  // stay bit-for-bit equal to analyze_sweep until their removal.
-  const auto topo = topology::generate_small_internet(200, 8);
-  util::Rng rng(3);
-  const auto dep = test::random_deployment(topo.graph.num_ases(), 0.5, rng);
-  const auto attackers = sample_ases(non_stub_ases(topo.graph), 3, 2);
-  const auto destinations = sample_ases(all_ases(topo.graph), 3, 9);
-  PairAnalysisConfig cfg;
-  cfg.model = SecurityModel::kSecuritySecond;
-  cfg.analyses = AnalysisSet::all();
-  const auto result = analyze_sweep(
-      topo.graph, make_sweep_plan(attackers, destinations), cfg, dep);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto flat = analyze_pairs(topo.graph, attackers, destinations, cfg,
-                                  dep);
-  const auto per_dest = analyze_pairs_per_destination(topo.graph, attackers,
-                                                      destinations, cfg, dep);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(flat, result.total);
-  ASSERT_EQ(per_dest.size(), result.per_destination.size());
-  for (std::size_t i = 0; i < per_dest.size(); ++i) {
-    EXPECT_EQ(per_dest[i], result.per_destination[i]) << "destination " << i;
   }
 }
 

@@ -84,9 +84,10 @@ RowSet load_rows(const std::string& path) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The real main; main() wraps it so *any* escaping exception — bad_alloc
+/// during file slurp included, not just the anticipated parse errors —
+/// reports as a usage/I/O failure instead of a std::terminate abort.
+int run(int argc, char** argv) {
   sbgp::sim::DiffOptions opts;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -125,23 +126,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const RowSet baseline = load_rows(paths[0]);
+  const RowSet candidate = load_rows(paths[1]);
+  if (baseline.index() != candidate.index()) {
+    std::cerr << "campaign_diff: '" << paths[0] << "' and '" << paths[1]
+              << "' hold different row kinds (per-trial vs aggregated)\n";
+    return 2;
+  }
+  const sbgp::sim::DiffReport report =
+      baseline.index() == 0
+          ? diff_trial_rows(std::get<0>(baseline), std::get<0>(candidate))
+          : diff_campaign_rows(std::get<1>(baseline), std::get<1>(candidate),
+                               opts);
+  print_diff_report(std::cout, report);
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   try {
-    const RowSet baseline = load_rows(paths[0]);
-    const RowSet candidate = load_rows(paths[1]);
-    if (baseline.index() != candidate.index()) {
-      std::cerr << "campaign_diff: '" << paths[0] << "' and '" << paths[1]
-                << "' hold different row kinds (per-trial vs aggregated)\n";
-      return 2;
-    }
-    const sbgp::sim::DiffReport report =
-        baseline.index() == 0
-            ? diff_trial_rows(std::get<0>(baseline), std::get<0>(candidate))
-            : diff_campaign_rows(std::get<1>(baseline),
-                                 std::get<1>(candidate), opts);
-    print_diff_report(std::cout, report);
-    return report.clean() ? 0 : 1;
+    return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "campaign_diff: " << e.what() << '\n';
+    std::cerr << "error: " << e.what() << '\n';
     return 2;
   }
 }
