@@ -7,6 +7,13 @@
 // size, plus the thread-scaling of the metric estimator.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "deployment/scenario.h"
 #include "routing/baseline.h"
 #include "routing/engine.h"
@@ -41,6 +48,17 @@ const topology::GeneratedTopology& topo_for(std::int64_t n) {
   if (n <= 1000) return t1k;
   if (n <= 4000) return t4k;
   return t10k;
+}
+
+/// Registry topologies (fixed params + seed): the graphs the perf
+/// trajectory in BENCH_engine.json is tracked on across revisions.
+const topology::GeneratedTopology& registry_topo(std::int64_t n) {
+  static auto tiny = topology::generate_trial("tiny-500", 20130812, 0);
+  static auto small = topology::generate_trial("small-2k", 20130812, 0);
+  static auto bench = topology::generate_trial("bench-8k", 20130812, 0);
+  if (n <= 500) return tiny;
+  if (n <= 2000) return small;
+  return bench;
 }
 
 routing::Deployment half_secure(const topology::AsGraph& g) {
@@ -162,7 +180,8 @@ BENCHMARK(BM_MetricEstimation)
 // calls one single-analysis runner per statistic, recomputing them.
 // Engine computations per pair: 3 analyses (downgrades + collateral + root
 // causes) cost 8 separate vs. 3 fused; all 5 cost 10 vs. 3. Compare
-// items_per_second at equal args. Args: (number of analyses: 3 or 5).
+// items_per_second at equal args. Args: (number of analyses: 3 or 5,
+// registry topology size: 500 or 8000).
 
 sim::PairAnalysisConfig fused_config(std::int64_t analyses) {
   sim::PairAnalysisConfig cfg;
@@ -176,7 +195,7 @@ sim::PairAnalysisConfig fused_config(std::int64_t analyses) {
 }
 
 void BM_AnalysesFused(benchmark::State& state) {
-  const auto& topo = topo_for(4000);
+  const auto& topo = registry_topo(state.range(1));
   const auto dep = half_secure(topo.graph);
   const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 8, 3);
   const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 8, 4);
@@ -193,11 +212,11 @@ void BM_AnalysesFused(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * attackers.size() *
                                 dests.size()));
 }
-BENCHMARK(BM_AnalysesFused)->Arg(3)->Arg(5)
+BENCHMARK(BM_AnalysesFused)->ArgsProduct({{3, 5}, {500, 8000}})
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_AnalysesSeparate(benchmark::State& state) {
-  const auto& topo = topo_for(4000);
+  const auto& topo = registry_topo(state.range(1));
   const auto dep = half_secure(topo.graph);
   const auto attackers = sim::sample_ases(sim::non_stub_ases(topo.graph), 8, 3);
   const auto dests = sim::sample_ases(sim::all_ases(topo.graph), 8, 4);
@@ -225,8 +244,32 @@ void BM_AnalysesSeparate(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * attackers.size() *
                                 dests.size()));
 }
-BENCHMARK(BM_AnalysesSeparate)->Arg(3)->Arg(5)
+BENCHMARK(BM_AnalysesSeparate)->ArgsProduct({{3, 5}, {500, 8000}})
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Deployment membership (util::AsSet) -----------------------------------
+//
+// Deployment::validates() is the innermost branch of every candidate scan
+// the engine performs, so AsSet::contains must stay a flat bitmap word
+// test. The linear id stream mirrors the engine's access pattern (neighbor
+// lists are sorted); items_per_second = membership tests per second.
+// Args: (registry topology size).
+void BM_AsSetContains(benchmark::State& state) {
+  const auto& topo = registry_topo(state.range(0));
+  const auto dep = half_secure(topo.graph);
+  const auto n = static_cast<std::uint32_t>(topo.graph.num_ases());
+  for (auto _ : state) {
+    std::size_t members = 0;
+    for (std::uint32_t id = 0; id < n; ++id) {
+      members += dep.secure.contains(id) ? 1u : 0u;
+    }
+    benchmark::DoNotOptimize(members);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AsSetContains)->Arg(500)->Arg(8000)
+    ->Unit(benchmark::kMicrosecond);
 
 // --- Campaign scheduling vs. the sequential per-spec loop ------------------
 //
@@ -319,15 +362,6 @@ BENCHMARK(BM_SuiteSequential)->Arg(1)->Arg(4)->Arg(16)
 // analyses and pair set — compare items_per_second (pairs/sec) directly.
 // Args: (registry topology size: 500, 2000 or 8000).
 
-const topology::GeneratedTopology& registry_topo(std::int64_t n) {
-  static auto tiny = topology::generate_trial("tiny-500", 20130812, 0);
-  static auto small = topology::generate_trial("small-2k", 20130812, 0);
-  static auto bench = topology::generate_trial("bench-8k", 20130812, 0);
-  if (n <= 500) return tiny;
-  if (n <= 2000) return small;
-  return bench;
-}
-
 struct SweepBenchSetup {
   const topology::GeneratedTopology& topo;
   routing::Deployment dep;
@@ -415,6 +449,109 @@ void BM_RepeatedSmallBatchesExecutor(benchmark::State& state) {
 BENCHMARK(BM_RepeatedSmallBatchesExecutor)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
+// --- Machine-readable perf trajectory (BENCH_engine.json) ------------------
+//
+// Every run appends nothing and overwrites one stable JSON file mapping
+// benchmark name -> pairs/sec (items_per_second) alongside the revision it
+// was measured at, so CI can archive the numbers next to the campaign rows
+// and future PRs can diff pairs/sec across revisions. Graph size and
+// worker count are part of the benchmark name (trailing args); the
+// default-executor worker count is recorded once in the header.
+//
+//   --bench_json=PATH   output path (default BENCH_engine.json; empty
+//                       disables the report)
+//
+// The revision comes from $SBGP_GIT_REV, falling back to $GITHUB_SHA
+// (set by CI), then "unknown".
+
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double items_per_second = 0.0;
+    double real_time_ms = 0.0;
+    double cpu_time_ms = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.items_per_second = it->second;
+      e.real_time_ms = run.GetAdjustedRealTime();
+      e.cpu_time_ms = run.GetAdjustedCPUTime();
+      e.iterations = static_cast<std::int64_t>(run.iterations);
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_trajectory(const std::string& path,
+                      const std::vector<JsonTrajectoryReporter::Entry>& es) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_perf_engine: cannot write %s\n", path.c_str());
+    return;
+  }
+  const char* rev = std::getenv("SBGP_GIT_REV");
+  if (rev == nullptr || *rev == '\0') rev = std::getenv("GITHUB_SHA");
+  if (rev == nullptr || *rev == '\0') rev = "unknown";
+  f << "{\n";
+  f << "  \"schema\": 1,\n";
+  f << "  \"git_rev\": \"" << json_escape(rev) << "\",\n";
+  f << "  \"workers\": " << sim::default_threads() << ",\n";
+  f << "  \"benchmarks\": [";
+  f.precision(17);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    f << (i == 0 ? "\n" : ",\n");
+    f << "    {\"name\": \"" << json_escape(es[i].name) << "\", "
+      << "\"items_per_second\": " << es[i].items_per_second << ", "
+      << "\"real_time_ms\": " << es[i].real_time_ms << ", "
+      << "\"cpu_time_ms\": " << es[i].cpu_time_ms << ", "
+      << "\"iterations\": " << es[i].iterations << "}";
+  }
+  f << "\n  ]\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_engine.json";
+  // Strip --bench_json before google-benchmark sees (and rejects) it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kFlag = "--bench_json=";
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      json_path.assign(arg.substr(kFlag.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_trajectory(json_path, reporter.entries());
+  return 0;
+}

@@ -3,7 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "routing/frontier_heap.h"
+#include "routing/bucket_queue.h"
 #include "routing/workspace.h"
 
 namespace sbgp::routing {
@@ -15,7 +15,7 @@ struct Ctx {
   AsId d;
   AsId m;
   std::vector<std::uint8_t>& fixed;
-  std::vector<FrontierHeap::Item>& heap_storage;
+  BucketQueue& frontier;
   std::vector<AsId>& cands;  // reusable tie-set buffer
   RoutingOutcome& out;
 
@@ -25,7 +25,7 @@ struct Ctx {
         d(dest),
         m(attacker),
         fixed(ws.fixed),
-        heap_storage(ws.frontier),
+        frontier(ws.frontier),
         cands(ws.candidates),
         out(result) {
     fixed.assign(graph.num_ases(), 0);
@@ -110,7 +110,8 @@ void sweep_peer_level(Ctx& ctx, std::uint32_t len,
 
 /// Remaining customer routes (length > k) in increasing length order.
 void finish_customer_routes(Ctx& ctx) {
-  FrontierHeap heap(ctx.heap_storage);
+  BucketQueue& heap = ctx.frontier;
+  heap.clear();
   for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
     if (!ctx.fixed[u] || !ctx.exports_up(u)) continue;
     for (const AsId p : ctx.g.providers(u)) {
@@ -147,7 +148,8 @@ void finish_peer_routes(Ctx& ctx) {
 
 /// Provider routes: Dijkstra down from every fixed AS.
 void finish_provider_routes(Ctx& ctx) {
-  FrontierHeap heap(ctx.heap_storage);
+  BucketQueue& heap = ctx.frontier;
+  heap.clear();
   for (AsId u = 0; u < ctx.g.num_ases(); ++u) {
     if (!ctx.fixed[u]) continue;
     for (const AsId c : ctx.g.customers(u)) {

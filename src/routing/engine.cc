@@ -3,7 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "routing/frontier_heap.h"
+#include "routing/bucket_queue.h"
 #include "routing/workspace.h"
 
 namespace sbgp::routing {
@@ -19,7 +19,7 @@ struct Ctx {
   AsId d;
   AsId m;  // kNoAs when no attack
   std::vector<std::uint8_t>& fixed;
-  std::vector<FrontierHeap::Item>& heap_storage;
+  BucketQueue& frontier;
   RoutingOutcome& out;
 
   /// Tag selecting the seeded constructor: `result` already holds a valid
@@ -34,7 +34,7 @@ struct Ctx {
         d(dest),
         m(attacker),
         fixed(ws.fixed),
-        heap_storage(ws.frontier),
+        frontier(ws.frontier),
         out(result) {
     fixed.assign(graph.num_ases(), 0);
     out.reset(graph.num_ases());
@@ -49,7 +49,7 @@ struct Ctx {
         d(dest),
         m(attacker),
         fixed(ws.fixed),
-        heap_storage(ws.frontier),
+        frontier(ws.frontier),
         out(result) {
     fixed.assign(graph.num_ases(), 0);
   }
@@ -150,7 +150,8 @@ struct Candidates {
 /// With `secure_only`, only validating ASes and fully secure routes take
 /// part (FSCR).
 void customer_stage(Ctx& ctx, bool secure_only) {
-  FrontierHeap heap(ctx.heap_storage);
+  BucketQueue& heap = ctx.frontier;
+  heap.clear();
   const auto push_providers = [&](AsId u) {
     for (const AsId p : ctx.g.providers(u)) {
       if (ctx.fixed[p]) continue;
@@ -228,7 +229,8 @@ void peer_stage(Ctx& ctx, bool secure_only) {
 /// from every already-fixed AS (all route types export to customers);
 /// shortest fixed first (Appendix B.2).
 void provider_stage(Ctx& ctx, bool secure_only) {
-  FrontierHeap heap(ctx.heap_storage);
+  BucketQueue& heap = ctx.frontier;
+  heap.clear();
   const auto push_customers = [&](AsId u) {
     for (const AsId c : ctx.g.customers(u)) {
       if (ctx.fixed[c]) continue;
@@ -265,7 +267,7 @@ std::vector<AsId> RoutingOutcome::representative_path(
   std::vector<AsId> path;
   AsId cur = v;
   path.push_back(cur);
-  while (type_[cur] != RouteType::kOrigin) {
+  while (type(cur) != RouteType::kOrigin) {
     const AsId next =
         toward_destination ? next_toward_d_[cur] : next_toward_m_[cur];
     if (next == kNoAs) {
@@ -436,28 +438,19 @@ void compute_routing_with_hysteresis_into(const AsGraph& g, const Query& q,
 
 namespace {
 
-/// The attributes of one AS that neighbors' candidate scans read. Next
-/// hops are deliberately absent: they never feed another AS's selection,
-/// so a next-hop-only update must not propagate.
-struct RankState {
-  RouteType type;
-  std::uint16_t length;
-  bool reach_d;
-  bool reach_m;
-  bool secure;
-};
+/// The attributes of one AS that neighbors' candidate scans read are
+/// exactly the packed outcome word (type, flags, length) — next hops are
+/// deliberately absent from it: they never feed another AS's selection, so
+/// a next-hop-only update must not propagate. Rank comparison is therefore
+/// a single 32-bit load and compare.
+using RankState = std::uint32_t;
 
 RankState rank_state(const RoutingOutcome& o, AsId v) {
-  return {o.type(v), o.length(v), o.reaches_destination(v),
-          o.reaches_attacker(v), o.secure_route(v)};
+  return o.packed_word(v);
 }
 
-bool rank_state_differs(const RankState& before, const RoutingOutcome& o,
-                        AsId v) {
-  const RankState after = rank_state(o, v);
-  return after.type != before.type || after.length != before.length ||
-         after.reach_d != before.reach_d || after.reach_m != before.reach_m ||
-         after.secure != before.secure;
+bool rank_state_differs(RankState before, const RoutingOutcome& o, AsId v) {
+  return o.packed_word(v) != before;
 }
 
 }  // namespace
@@ -523,9 +516,10 @@ void compute_routing_seeded_into(const AsGraph& g, const Query& q,
     return true;
   };
 
-  // ws.frontier stays free for the provider-delta heaps below
-  // (Ctx::heap_storage aliases it); the customer delta gets its own heap.
-  FrontierHeap customer_heap(ws.frontier2);
+  // ws.frontier stays free for the provider-delta queues below
+  // (Ctx::frontier aliases it); the customer delta gets its own queue.
+  BucketQueue& customer_heap = ws.frontier2;
+  customer_heap.clear();
   ws.touched.clear();
   ws.changed.clear();
 
@@ -669,7 +663,8 @@ void compute_routing_seeded_into(const AsGraph& g, const Query& q,
   constexpr std::uint32_t kInf = kNoRouteLength;
 
   {
-    FrontierHeap queue(ctx.heap_storage);
+    BucketQueue& queue = ctx.frontier;
+    queue.clear();
     const auto update = [&](AsId u) {
       if (is_source(u)) return;
       std::uint32_t best = kInf;
@@ -702,7 +697,8 @@ void compute_routing_seeded_into(const AsGraph& g, const Query& q,
   }
 
   {
-    FrontierHeap restate(ctx.heap_storage);
+    BucketQueue& restate = ctx.frontier;
+    restate.clear();
     const auto add_restate = [&](AsId v) {
       if (is_source(v)) return;
       if (!mark(v, kRestateListed)) return;

@@ -2,9 +2,9 @@
 //
 // For a query (destination d, optional attacker m announcing the bogus path
 // "m, d" over legacy BGP) and a partial deployment S, the engine computes
-// the unique stable routing state (Theorem 2.1) in O((V + E) log V) by
-// "fixing" AS routes in the order the paper's Fix-Routes algorithm
-// prescribes:
+// the unique stable routing state (Theorem 2.1) in near-O(V + E) time
+// (bucket-queue frontiers; see routing/bucket_queue.h) by "fixing" AS
+// routes in the order the paper's Fix-Routes algorithm prescribes:
 //
 //   baseline / security 3rd:  FCR -> FPeeR -> FPrvR
 //   security 2nd:             FSCR -> FCR -> FPeeR -> FSPrvR -> FPrvR
@@ -36,6 +36,17 @@ inline constexpr std::uint16_t kNoRouteLength = 0xFFFF;
 /// (every route in an AS's most-preferred set shares the same relationship
 /// class, length and security — Appendix B.1); only *which endpoint* a route
 /// reaches can depend on tie-breaking, which the reach flags expose.
+///
+/// Storage is one packed 32-bit word per AS
+///
+///   bits  0-2   route type        bits 3-5   reach/secure flags
+///   bits  6-15  reserved (zero)   bits 16-31 AS-path length
+///
+/// so the engine's hot operations — fix(), the seeded path's rank-state
+/// comparisons, reset() — are single stores, single compares, and one
+/// fill respectively, and a query streams one word per AS through the
+/// cache instead of three parallel arrays. The two representative
+/// next-hop arrays stay separate: only path reconstruction reads them.
 class RoutingOutcome {
  public:
   /// Empty outcome; reset(n) before use (workspace reuse path).
@@ -46,31 +57,42 @@ class RoutingOutcome {
   /// existing buffer capacity. This is what makes outcomes cheap to keep in
   /// a long-lived EngineWorkspace.
   void reset(std::size_t n) {
-    type_.assign(n, RouteType::kNone);
-    length_.assign(n, kNoRouteLength);
-    flags_.assign(n, 0);
+    word_.assign(n, kUnfixedWord);
     next_toward_d_.assign(n, kNoAs);
     next_toward_m_.assign(n, kNoAs);
   }
 
-  [[nodiscard]] std::size_t num_ases() const noexcept { return type_.size(); }
+  [[nodiscard]] std::size_t num_ases() const noexcept { return word_.size(); }
 
-  [[nodiscard]] RouteType type(AsId v) const noexcept { return type_[v]; }
-  [[nodiscard]] std::uint16_t length(AsId v) const noexcept { return length_[v]; }
+  [[nodiscard]] RouteType type(AsId v) const noexcept {
+    return static_cast<RouteType>(word_[v] & kTypeMask);
+  }
+  [[nodiscard]] std::uint16_t length(AsId v) const noexcept {
+    return static_cast<std::uint16_t>(word_[v] >> kLengthShift);
+  }
   [[nodiscard]] bool has_route(AsId v) const noexcept {
-    return type_[v] != RouteType::kNone;
+    return (word_[v] & kTypeMask) != 0;
   }
   /// True if some most-preferred route of v leads to the legitimate d.
   [[nodiscard]] bool reaches_destination(AsId v) const noexcept {
-    return (flags_[v] & kReachD) != 0;
+    return (word_[v] & kReachD) != 0;
   }
   /// True if some most-preferred route of v leads to the attacker.
   [[nodiscard]] bool reaches_attacker(AsId v) const noexcept {
-    return (flags_[v] & kReachM) != 0;
+    return (word_[v] & kReachM) != 0;
   }
   /// True if v's route was learned entirely via S*BGP (a "secure route").
   [[nodiscard]] bool secure_route(AsId v) const noexcept {
-    return (flags_[v] & kSecure) != 0;
+    return (word_[v] & kSecure) != 0;
+  }
+
+  /// The raw packed (type | flags | length) word of v — everything a
+  /// neighbor's candidate scan can observe about v's route, and nothing it
+  /// cannot (next hops are excluded by construction). The seeded engine
+  /// compares these words to decide whether a re-derived state must
+  /// propagate.
+  [[nodiscard]] std::uint32_t packed_word(AsId v) const noexcept {
+    return word_[v];
   }
 
   [[nodiscard]] HappyStatus happy(AsId v) const noexcept {
@@ -102,23 +124,25 @@ class RoutingOutcome {
   // --- engine-internal setters (public for the implementation file) -----
   void fix(AsId v, RouteType t, std::uint16_t len, bool reach_d, bool reach_m,
            bool secure, AsId nh_d, AsId nh_m) noexcept {
-    type_[v] = t;
-    length_[v] = len;
-    flags_[v] = static_cast<std::uint8_t>((reach_d ? kReachD : 0) |
-                                          (reach_m ? kReachM : 0) |
-                                          (secure ? kSecure : 0));
+    word_[v] = static_cast<std::uint32_t>(t) | (reach_d ? kReachD : 0u) |
+               (reach_m ? kReachM : 0u) | (secure ? kSecure : 0u) |
+               (static_cast<std::uint32_t>(len) << kLengthShift);
     next_toward_d_[v] = nh_d;
     next_toward_m_[v] = nh_m;
   }
 
  private:
-  static constexpr std::uint8_t kReachD = 1;
-  static constexpr std::uint8_t kReachM = 2;
-  static constexpr std::uint8_t kSecure = 4;
+  // Packed-word layout; bits 6-15 are reserved and always zero.
+  static constexpr std::uint32_t kTypeMask = 0x7u;      // bits 0-2
+  static constexpr std::uint32_t kReachD = 1u << 3;
+  static constexpr std::uint32_t kReachM = 1u << 4;
+  static constexpr std::uint32_t kSecure = 1u << 5;
+  static constexpr std::uint32_t kLengthShift = 16;     // bits 16-31
+  /// kNone route, no flags, kNoRouteLength — the all-unfixed state.
+  static constexpr std::uint32_t kUnfixedWord =
+      static_cast<std::uint32_t>(kNoRouteLength) << kLengthShift;
 
-  std::vector<RouteType> type_;
-  std::vector<std::uint16_t> length_;
-  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> word_;
   std::vector<AsId> next_toward_d_;
   std::vector<AsId> next_toward_m_;
 };

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "routing/frontier_heap.h"
-
 namespace sbgp::routing {
 
 std::pair<RouteType, std::uint16_t> PerceivableDistances::best(AsId v) const {
@@ -22,16 +20,15 @@ PerceivableDistances perceivable_distances(const AsGraph& g, AsId root,
                                            std::uint16_t root_length,
                                            AsId excluded) {
   PerceivableDistances dist;
-  std::vector<FrontierHeap::Item> heap_storage;
-  perceivable_distances_into(g, root, root_length, excluded, dist,
-                             heap_storage);
+  BucketQueue frontier;
+  perceivable_distances_into(g, root, root_length, excluded, dist, frontier);
   return dist;
 }
 
-void perceivable_distances_into(
-    const AsGraph& g, AsId root, std::uint16_t root_length, AsId excluded,
-    PerceivableDistances& dist,
-    std::vector<std::pair<std::uint32_t, AsId>>& heap_storage) {
+void perceivable_distances_into(const AsGraph& g, AsId root,
+                                std::uint16_t root_length, AsId excluded,
+                                PerceivableDistances& dist,
+                                BucketQueue& frontier) {
   const std::size_t n = g.num_ases();
   if (root >= n) throw std::invalid_argument("perceivable_distances: bad root");
   constexpr auto kInf = PerceivableDistances::kNoRouteLengthR;
@@ -44,7 +41,8 @@ void perceivable_distances_into(
   // Customer routes: BFS up customer->provider edges. All hops comply with
   // Ex (each intermediate AS forwards a customer route, exportable to all).
   {
-    FrontierHeap heap(heap_storage);
+    BucketQueue& heap = frontier;
+    heap.clear();
     for (const AsId p : g.providers(root)) {
       if (!skip(p)) heap.push(root_length + 1u, p);
     }
@@ -75,7 +73,8 @@ void perceivable_distances_into(
   // Provider routes: BFS down provider->customer edges; any perceivable
   // route (customer, peer or provider) may be exported to a customer.
   {
-    FrontierHeap heap(heap_storage);
+    BucketQueue& heap = frontier;
+    heap.clear();
     const auto base_of = [&](AsId v) -> std::uint32_t {
       if (v == root) return root_length;
       std::uint32_t b = std::min<std::uint32_t>(dist.customer[v], dist.peer[v]);

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "routing/bucket_queue.h"
 #include "routing/model.h"
 #include "topology/as_graph.h"
 
@@ -52,12 +53,12 @@ struct PerceivableDistances {
     AsId excluded = kNoAs);
 
 /// Workspace variant: computes into `dist` (values reset, capacity reused)
-/// using `heap_storage` for the BFS frontiers. The buffers typically live
-/// in an EngineWorkspace (reach_d / reach_m and frontier).
-void perceivable_distances_into(
-    const AsGraph& g, AsId root, std::uint16_t root_length, AsId excluded,
-    PerceivableDistances& dist,
-    std::vector<std::pair<std::uint32_t, AsId>>& heap_storage);
+/// using `frontier` for the BFS stages (cleared on entry). The buffers
+/// typically live in an EngineWorkspace (reach_d / reach_m and frontier).
+void perceivable_distances_into(const AsGraph& g, AsId root,
+                                std::uint16_t root_length, AsId excluded,
+                                PerceivableDistances& dist,
+                                BucketQueue& frontier);
 
 }  // namespace sbgp::routing
 

@@ -13,8 +13,6 @@ void EngineWorkspace::reserve(std::size_t num_ases) {
   dest_baseline.has_normal = false;
   dest_baseline.has_insecure_empty = false;
   fixed.reserve(num_ases);
-  frontier.reserve(num_ases);
-  frontier2.reserve(num_ases);
   touched.reserve(num_ases);
   changed.reserve(num_ases);
   dirty.reserve(num_ases);

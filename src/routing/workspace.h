@@ -2,7 +2,7 @@
 //
 // Aggregate experiments (H_{M,D}(S), Figures 3-16) run millions of
 // independent Fix-Routes computations whose per-query state has the same
-// shape every time: a handful of per-AS vectors and a frontier heap. An
+// shape every time: a handful of per-AS vectors and a frontier queue. An
 // EngineWorkspace owns that state across queries so a long-lived worker
 // (sim::BatchExecutor) allocates it once and every subsequent query only
 // re-initializes values, never memory. The engine, baseline and
@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "routing/bucket_queue.h"
 #include "routing/engine.h"
 #include "routing/reach.h"
 
@@ -96,11 +97,11 @@ class EngineWorkspace {
 
   // --- Staged-BFS engine scratch ---------------------------------------
   std::vector<std::uint8_t> fixed;  // per-AS "route fixed" flags
-  std::vector<std::pair<std::uint32_t, AsId>> frontier;  // stage heap storage
+  BucketQueue frontier;             // stage frontier (bucket queue)
   std::vector<AsId> candidates;     // tie-set candidate buffer (baseline)
 
   // --- Seeded-engine delta scratch (compute_routing_seeded_into) --------
-  std::vector<std::pair<std::uint32_t, AsId>> frontier2;  // 2nd stage heap
+  BucketQueue frontier2;            // 2nd stage frontier (customer delta)
   std::vector<AsId> touched;           // peer-phase candidate list
   std::vector<AsId> changed;           // rank-changed customer/peer sources
   std::vector<AsId> dirty;             // provider-delta distance-change list

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace sbgp::topology {
@@ -78,17 +79,41 @@ AsGraph AsGraphBuilder::build() const {
       if (indeg[v] == 0) q.push(v);
     }
     std::size_t seen = 0;
+    std::vector<std::uint8_t> done(n_, 0);
     while (!q.empty()) {
       const AsId v = q.front();
       q.pop();
       ++seen;
+      done[v] = 1;
       for (const AsId p : up[v]) {
         if (--indeg[p] == 0) q.push(p);
       }
     }
     if (seen != n_) {
-      throw std::invalid_argument(
-          "AsGraphBuilder: customer-provider relationships contain a cycle");
+      // Every unprocessed AS still has an unprocessed customer, so walking
+      // provider->customer links among them must revisit a node; the slice
+      // from that node is one concrete cycle. Reversed, it reads in
+      // customer->provider direction for the error message.
+      std::vector<std::vector<AsId>> down(n_);  // provider -> customers
+      for (const auto& [c, p] : cp_edges_) {
+        if (!done[c] && !done[p]) down[p].push_back(c);
+      }
+      AsId cur = 0;
+      while (done[cur]) ++cur;
+      std::vector<AsId> walk;
+      std::vector<std::uint32_t> pos(n_, kNoAs);
+      while (pos[cur] == kNoAs) {
+        pos[cur] = static_cast<std::uint32_t>(walk.size());
+        walk.push_back(cur);
+        cur = down[cur].front();
+      }
+      std::vector<AsId> cycle(walk.begin() + pos[cur], walk.end());
+      std::reverse(cycle.begin(), cycle.end());
+      std::string msg =
+          "AsGraphBuilder: customer-provider relationships contain a cycle: ";
+      for (const AsId v : cycle) msg += std::to_string(v) + " -> ";
+      msg += std::to_string(cycle.front());
+      throw std::invalid_argument(msg);
     }
   }
 
@@ -105,23 +130,38 @@ AsGraph AsGraphBuilder::build() const {
     ++n_peer[b];
   }
 
+  // The fused offset records hold edge-array positions as uint32.
+  const std::size_t total_entries =
+      2 * cp_edges_.size() + 2 * peer_edges_.size();
+  if (total_entries > 0xFFFF'FFFFull) {
+    throw std::invalid_argument(
+        "AsGraphBuilder: neighbor entries exceed the 32-bit offset range");
+  }
+
   AsGraph g;
   g.n_ = n_;
   g.cp_links_ = cp_edges_.size();
   g.peer_links_ = peer_edges_.size();
-  g.off_.assign(n_ + 1, 0);
-  g.peer_start_.assign(n_, 0);
-  g.prov_start_.assign(n_, 0);
+  g.vtx_.assign(n_, {});
+  std::uint32_t off = 0;
   for (AsId v = 0; v < n_; ++v) {
-    g.off_[v + 1] = g.off_[v] + n_cust[v] + n_peer[v] + n_prov[v];
-    g.peer_start_[v] = g.off_[v] + n_cust[v];
-    g.prov_start_[v] = g.peer_start_[v] + n_peer[v];
+    auto& o = g.vtx_[v];
+    o.begin = off;
+    o.peer_begin = o.begin + static_cast<std::uint32_t>(n_cust[v]);
+    o.prov_begin = o.peer_begin + static_cast<std::uint32_t>(n_peer[v]);
+    o.end = o.prov_begin + static_cast<std::uint32_t>(n_prov[v]);
+    off = o.end;
   }
-  g.nbr_.assign(g.off_[n_], kNoAs);
+  g.nbr_.assign(off, kNoAs);
 
-  std::vector<std::size_t> cur_cust(g.off_.begin(), g.off_.end() - 1);
-  std::vector<std::size_t> cur_peer(g.peer_start_);
-  std::vector<std::size_t> cur_prov(g.prov_start_);
+  std::vector<std::uint32_t> cur_cust(n_);
+  std::vector<std::uint32_t> cur_peer(n_);
+  std::vector<std::uint32_t> cur_prov(n_);
+  for (AsId v = 0; v < n_; ++v) {
+    cur_cust[v] = g.vtx_[v].begin;
+    cur_peer[v] = g.vtx_[v].peer_begin;
+    cur_prov[v] = g.vtx_[v].prov_begin;
+  }
   for (const auto& [c, p] : cp_edges_) {
     g.nbr_[cur_prov[c]++] = p;
     g.nbr_[cur_cust[p]++] = c;
@@ -133,12 +173,10 @@ AsGraph AsGraphBuilder::build() const {
 
   // Sorted buckets give deterministic iteration and allow binary search.
   for (AsId v = 0; v < n_; ++v) {
-    std::sort(g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.off_[v]),
-              g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.peer_start_[v]));
-    std::sort(g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.peer_start_[v]),
-              g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.prov_start_[v]));
-    std::sort(g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.prov_start_[v]),
-              g.nbr_.begin() + static_cast<std::ptrdiff_t>(g.off_[v + 1]));
+    const auto& o = g.vtx_[v];
+    std::sort(g.nbr_.begin() + o.begin, g.nbr_.begin() + o.peer_begin);
+    std::sort(g.nbr_.begin() + o.peer_begin, g.nbr_.begin() + o.prov_begin);
+    std::sort(g.nbr_.begin() + o.prov_begin, g.nbr_.begin() + o.end);
   }
   return g;
 }

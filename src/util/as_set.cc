@@ -1,50 +1,63 @@
 #include "util/as_set.h"
 
 #include <algorithm>
-#include <numeric>
+#include <bit>
 #include <stdexcept>
 
 namespace sbgp::util {
 
+// Invariant: bits at positions >= universe_ in the last word are always
+// zero, so word-wise count/union/subset/== need no boundary masking.
+
 void AsSet::insert(std::uint32_t id) {
-  if (id >= bits_.size()) throw std::out_of_range("AsSet::insert: id out of range");
-  bits_[id] = 1;
+  if (id >= universe_) {
+    throw std::out_of_range("AsSet::insert: id out of range");
+  }
+  words_[id >> 6] |= std::uint64_t{1} << (id & 63);
 }
 
 void AsSet::erase(std::uint32_t id) {
-  if (id >= bits_.size()) throw std::out_of_range("AsSet::erase: id out of range");
-  bits_[id] = 0;
+  if (id >= universe_) {
+    throw std::out_of_range("AsSet::erase: id out of range");
+  }
+  words_[id >> 6] &= ~(std::uint64_t{1} << (id & 63));
 }
 
 std::size_t AsSet::count() const noexcept {
-  return static_cast<std::size_t>(
-      std::count(bits_.begin(), bits_.end(), std::uint8_t{1}));
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) n += std::popcount(w);
+  return n;
 }
 
 std::vector<std::uint32_t> AsSet::members() const {
   std::vector<std::uint32_t> out;
-  for (std::uint32_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i]) out.push_back(i);
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + bit));
+      w &= w - 1;  // clear lowest set bit
+    }
   }
   return out;
 }
 
 void AsSet::insert_all(const AsSet& other) {
-  if (other.bits_.size() > bits_.size()) {
+  if (other.universe_ > universe_) {
     throw std::invalid_argument("AsSet::insert_all: universe mismatch");
   }
-  for (std::size_t i = 0; i < other.bits_.size(); ++i) {
-    if (other.bits_[i]) bits_[i] = 1;
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
   }
 }
 
 bool AsSet::subset_of(const AsSet& other) const noexcept {
-  const std::size_t n = std::min(bits_.size(), other.bits_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (bits_[i] && !other.bits_[i]) return false;
+  const std::size_t shared = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
   }
-  for (std::size_t i = n; i < bits_.size(); ++i) {
-    if (bits_[i]) return false;
+  for (std::size_t i = shared; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
   }
   return true;
 }

@@ -62,6 +62,32 @@ TEST(AsGraphBuilder, RejectsProviderCycle) {
   EXPECT_THROW(b.build(), std::invalid_argument);
 }
 
+TEST(AsGraphBuilder, CycleErrorNamesOffendingAses) {
+  AsGraphBuilder b(6);
+  // A clean hierarchy around the cycle, so diagnostics must single out the
+  // cyclic ASes only.
+  b.add_customer_provider(5, 0);
+  b.add_customer_provider(4, 5);
+  b.add_customer_provider(1, 2);
+  b.add_customer_provider(2, 3);
+  b.add_customer_provider(3, 1);  // 1 -> 2 -> 3 -> 1: cycle
+  try {
+    (void)b.build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+    // Every cyclic AS is named; the arrow chain closes on its start.
+    for (const char* id : {"1", "2", "3"}) {
+      EXPECT_NE(msg.find(std::string(" ") + id), std::string::npos) << msg;
+    }
+    EXPECT_NE(msg.find(" -> "), std::string::npos) << msg;
+    // ASes outside the cycle are not blamed.
+    EXPECT_EQ(msg.find("4"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("5"), std::string::npos) << msg;
+  }
+}
+
 TEST(AsGraphBuilder, AcceptsDiamondHierarchy) {
   AsGraphBuilder b(4);
   b.add_customer_provider(3, 1);

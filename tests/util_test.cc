@@ -140,6 +140,41 @@ TEST(AsSet, SubsetAndUnion) {
   EXPECT_TRUE(small.subset_of(big));
 }
 
+TEST(AsSet, WordBoundaryIds) {
+  // The packed-word storage keeps 64 ids per word; exercise both sides of
+  // each boundary in a universe that is not a multiple of 64.
+  AsSet s(130);
+  for (const std::uint32_t id : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(s.contains(id));
+    s.insert(id);
+    EXPECT_TRUE(s.contains(id)) << id;
+  }
+  EXPECT_EQ(s.count(), 7u);
+  const auto m = s.members();
+  EXPECT_EQ(m, (std::vector<std::uint32_t>{0, 63, 64, 65, 127, 128, 129}));
+  s.erase(64);
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(65));
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_THROW(s.insert(130), std::out_of_range);
+  EXPECT_FALSE(s.contains(130));  // last-word tail bits stay clear
+}
+
+TEST(AsSet, SubsetAcrossDifferentUniverses) {
+  // A member past the smaller set's universe must break subset_of even
+  // when both sets occupy the same number of storage words.
+  AsSet wide = make_as_set(70, {68});
+  const AsSet narrow = make_as_set(65, {});
+  EXPECT_FALSE(wide.subset_of(narrow));
+  EXPECT_TRUE(narrow.subset_of(wide));
+  wide.erase(68);
+  EXPECT_TRUE(wide.subset_of(narrow));
+  // Universe participates in equality: same members, different capacity.
+  EXPECT_FALSE(make_as_set(65, {1}) == make_as_set(70, {1}));
+  EXPECT_TRUE(make_as_set(65, {1}) == make_as_set(65, {1}));
+}
+
 TEST(Stats, SummaryBasics) {
   const auto s = summarize({1.0, 2.0, 3.0, 4.0});
   EXPECT_EQ(s.n, 4u);
