@@ -351,6 +351,54 @@ void BM_SuiteSequential(benchmark::State& state) {
 BENCHMARK(BM_SuiteSequential)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
+// --- Adaptive sequential stopping vs. the fixed trial budget ---------------
+//
+// The same mixed-size campaign asked for a 12-trial budget, fixed vs.
+// adaptive (wave size 2, loose stderr target, so every spec converges
+// after the first wave). BOTH variants report the full requested budget's
+// pair count as items processed — deliberately, even though the adaptive
+// run computes only a fraction of it: items_per_second then reads as
+// "requested statistical work delivered per second of engine time", so the
+// adaptive row's higher rate IS the convergence-bounded engine-unit
+// reduction, measured in the same unit as the fixed row. Args: (threads).
+
+sim::CampaignSpec budget_campaign() {
+  auto campaign = perf_campaign();
+  campaign.trials = 12;
+  return campaign;
+}
+
+void BM_CampaignFixed(benchmark::State& state) {
+  const auto campaign = budget_campaign();
+  sim::BatchExecutor executor(static_cast<std::size_t>(state.range(0)));
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(campaign, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          campaign_pairs(campaign));
+}
+BENCHMARK(BM_CampaignFixed)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_CampaignAdaptive(benchmark::State& state) {
+  auto campaign = budget_campaign();
+  campaign.target_stderr = 0.5;  // loose: every spec converges at wave 1
+  campaign.wave_size = 2;
+  sim::BatchExecutor executor(static_cast<std::size_t>(state.range(0)));
+  sim::RunnerOptions opts;
+  opts.executor = &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(campaign, opts));
+  }
+  // Requested-budget pairs, NOT computed pairs — see the comment above.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          campaign_pairs(campaign));
+}
+BENCHMARK(BM_CampaignAdaptive)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
 // --- Destination-grouped incremental sweep vs. flat full recompute ---------
 //
 // The PR-6 sweep redesign: analyze_sweep schedules whole destination

@@ -16,10 +16,21 @@
 // listed on stderr and turn the exit status to 3: the surviving rows are
 // still written, so a re-run against the same cache dir resumes from them.
 //
+// With --target-stderr the campaign runs adaptively: trials are scheduled
+// in waves (--wave) and every spec stops as soon as each aggregated
+// metric's standard error reaches the target — or the budget
+// (--max-trials, default the positional trial count) runs out. The
+// per-spec stopping report prints realized trial counts and reasons.
+// --stream writes the per-trial CSV incrementally as cells complete (byte-
+// identical to the end-of-run writer); --agg writes the aggregated rows
+// (with the stopping_reason column) for statistical gating with
+// campaign_diff --adaptive.
+//
 //   ./example_run_campaign [topology] [trials] [samples] [csv] [json]
 //                          [--cache-dir DIR] [--expect-cached] [--strict]
 //                          [--shard I/N] [--merge-only] [--faults SPEC]
-//                          [--help]
+//                          [--target-stderr X] [--max-trials N] [--wave N]
+//                          [--stream PATH] [--agg PATH] [--help]
 //
 // Exit status: 0 clean, 1 round-trip or --expect-cached failure, 2 usage
 // or configuration error, 3 completed with failed or missing cells.
@@ -27,6 +38,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,7 +57,9 @@ void print_usage(std::ostream& os) {
         " [--strict]\n"
         "                            [--shard I/N] [--merge-only]"
         " [--faults SPEC]\n"
-        "                            [--help]\n"
+        "                            [--target-stderr X] [--max-trials N]"
+        " [--wave N]\n"
+        "                            [--stream PATH] [--agg PATH] [--help]\n"
         "\n"
         "  topology   registered topology name (default small-2k)\n"
         "  trials     number of generated topologies (default 2)\n"
@@ -65,6 +79,17 @@ void print_usage(std::ostream& os) {
         "  --faults SPEC     deterministic fault injection, e.g.\n"
         "                    'seed=7,unit=0.35,store=0.5' (also read from\n"
         "                    the SBGP_FAULTS environment variable)\n"
+        "  --target-stderr X adaptive sequential stopping: schedule trials\n"
+        "                    in waves and stop each spec once every\n"
+        "                    aggregated metric's stderr is <= X\n"
+        "  --max-trials N    adaptive trial budget (default: the trials\n"
+        "                    argument); needs --target-stderr\n"
+        "  --wave N          trials per wave (default: 4 when adaptive,\n"
+        "                    all trials in one wave otherwise)\n"
+        "  --stream PATH     stream per-trial CSV rows to PATH as cells\n"
+        "                    complete (byte-identical to the csv output)\n"
+        "  --agg PATH        write aggregated rows (stopping_reason column\n"
+        "                    included) as CSV to PATH\n"
         "\n"
         "exit status: 0 clean, 1 round-trip/--expect-cached failure,\n"
         "             2 usage error, 3 failed or missing cells\n"
@@ -87,6 +112,8 @@ int run(int argc, char** argv) {
   campaign.seed = 20130812;
   std::size_t samples = 8;
   bool expect_cached = false;
+  std::string stream_path;
+  std::string agg_path;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,7 +133,9 @@ int run(int argc, char** argv) {
       campaign.merge_only = true;
       continue;
     }
-    if (arg == "--cache-dir" || arg == "--faults" || arg == "--shard") {
+    if (arg == "--cache-dir" || arg == "--faults" || arg == "--shard" ||
+        arg == "--target-stderr" || arg == "--max-trials" || arg == "--wave" ||
+        arg == "--stream" || arg == "--agg") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs an argument\n\n";
         print_usage(std::cerr);
@@ -117,6 +146,34 @@ int run(int argc, char** argv) {
         campaign.cache_dir = value;
       } else if (arg == "--faults") {
         campaign.fault_spec = sim::parse_fault_spec(value);
+      } else if (arg == "--stream") {
+        stream_path = value;
+      } else if (arg == "--agg") {
+        agg_path = value;
+      } else if (arg == "--target-stderr") {
+        char* end = nullptr;
+        errno = 0;
+        const double target = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+            !(target > 0.0)) {
+          std::cerr << "error: --target-stderr wants a positive number, got '"
+                    << value << "'\n\n";
+          print_usage(std::cerr);
+          return 2;
+        }
+        campaign.target_stderr = target;
+      } else if (arg == "--max-trials" || arg == "--wave") {
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || v == 0 ||
+            errno == ERANGE || v > 1'000'000'000ul) {
+          std::cerr << "error: " << arg
+                    << " wants a positive integer, got '" << value << "'\n\n";
+          print_usage(std::cerr);
+          return 2;
+        }
+        (arg == "--max-trials" ? campaign.max_trials : campaign.wave_size) = v;
       } else {
         const std::size_t slash = value.find('/');
         char* end = nullptr;
@@ -195,6 +252,11 @@ int run(int argc, char** argv) {
     print_usage(std::cerr);
     return 2;
   }
+  if (campaign.max_trials != 0 && campaign.target_stderr == 0.0) {
+    std::cerr << "error: --max-trials needs --target-stderr\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
 
   const auto spec_for = [&](const char* scenario,
                             routing::SecurityModel model,
@@ -219,7 +281,24 @@ int run(int argc, char** argv) {
   campaign.experiments.push_back(spec_for(
       "empty", routing::SecurityModel::kInsecure, sim::Analysis::kHappiness));
 
-  const auto result = sim::run_campaign(campaign);
+  // When streaming, per-trial rows go through the appender as each cell's
+  // last unit finishes; the file is verified against the end-of-run rows
+  // below, so the byte-identity promise is checked on every invocation.
+  std::ofstream stream_out;
+  std::optional<sim::TrialRowCsvAppender> stream_appender;
+  sim::RowSink sink;
+  if (!stream_path.empty()) {
+    stream_out.open(stream_path);
+    if (!stream_out.is_open()) {
+      std::cerr << "error: cannot open --stream path '" << stream_path
+                << "'\n";
+      return 2;
+    }
+    stream_appender.emplace(stream_out);
+    sink = [&](const sim::CampaignTrialRow& r) { stream_appender->append(r); };
+  }
+
+  const auto result = sim::run_campaign(campaign, {}, sink);
   std::cout << "campaign: " << result.label << " on " << result.topology
             << " x " << campaign.trials << " trials, " << samples << "x"
             << samples << " pairs per spec ("
@@ -240,6 +319,15 @@ int run(int argc, char** argv) {
          cell(row.metrics[dg])});
   }
   table.print(std::cout);
+
+  if (campaign.target_stderr > 0.0) {
+    std::cout << '\n';
+    for (const auto& row : result.rows) {
+      std::cout << "stopping: spec " << row.spec_index << " (" << row.label
+                << "): " << row.trials << " trial(s), "
+                << to_string(row.stopping) << '\n';
+    }
+  }
 
   if (!campaign.cache_dir.empty()) {
     std::cout << "\ncache: " << result.cache_hits << " hit(s), "
@@ -282,6 +370,28 @@ int run(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote per-trial rows: " << json_path
+              << " (round trip verified)\n";
+  }
+  if (!stream_path.empty()) {
+    stream_out.close();
+    std::ifstream in(stream_path);
+    if (sim::read_trial_rows_csv(in) != result.trial_rows) {
+      std::cerr << "FAIL: streamed CSV does not match end-of-run rows\n";
+      return 1;
+    }
+    std::cout << "streamed per-trial rows: " << stream_path
+              << " (matches end-of-run rows)\n";
+  }
+  if (!agg_path.empty()) {
+    std::ofstream out(agg_path);
+    sim::write_campaign_rows_csv(out, result.rows);
+    out.close();
+    std::ifstream in(agg_path);
+    if (sim::read_campaign_rows_csv(in) != result.rows) {
+      std::cerr << "FAIL: aggregated CSV round trip mismatch\n";
+      return 1;
+    }
+    std::cout << "wrote aggregated rows: " << agg_path
               << " (round trip verified)\n";
   }
 

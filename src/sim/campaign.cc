@@ -13,11 +13,17 @@
 #include "sim/batch_executor.h"
 #include "sim/campaign_cache.h"
 #include "topology/registry.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace sbgp::sim {
 
 namespace {
+
+/// Default trials per wave for adaptive campaigns: small enough that a
+/// quickly-converging spec stops after a handful of trials, large enough
+/// that the per-wave submission still amortizes topology prep overlap.
+constexpr std::size_t kDefaultAdaptiveWave = 4;
 
 double ratio(std::size_t num, std::size_t den) {
   return den == 0 ? 0.0
@@ -75,6 +81,42 @@ std::array<double, kNumCampaignMetrics> campaign_metrics(
   };
 }
 
+std::string_view to_string(StoppingReason reason) {
+  switch (reason) {
+    case StoppingReason::kFixed: return "fixed";
+    case StoppingReason::kConverged: return "converged";
+    case StoppingReason::kBudget: return "budget";
+  }
+  throw std::invalid_argument("to_string: bad StoppingReason value");
+}
+
+StoppingReason parse_stopping_reason(std::string_view name) {
+  for (const auto reason :
+       {StoppingReason::kFixed, StoppingReason::kConverged,
+        StoppingReason::kBudget}) {
+    if (to_string(reason) == name) return reason;
+  }
+  throw std::invalid_argument("parse_stopping_reason: unknown reason '" +
+                              std::string(name) +
+                              "'; expected fixed, converged or budget");
+}
+
+std::uint64_t spec_fingerprint(const CampaignSpec& campaign) {
+  util::Fingerprint fp;
+  fp.mix(std::string_view(campaign.label));
+  fp.mix(std::string_view(campaign.topology));
+  fp.mix(static_cast<std::uint64_t>(campaign.trials));
+  fp.mix(campaign.seed);
+  fp.mix(static_cast<std::uint64_t>(campaign.experiments.size()));
+  for (const auto& spec : campaign.experiments) {
+    fp.mix(spec_fingerprint(spec));
+  }
+  fp.mix(campaign.target_stderr);
+  fp.mix(static_cast<std::uint64_t>(campaign.wave_size));
+  fp.mix(static_cast<std::uint64_t>(campaign.max_trials));
+  return fp.value();
+}
+
 std::vector<CampaignRow> aggregate_trial_rows(
     const std::vector<CampaignTrialRow>& trial_rows) {
   struct Agg {
@@ -108,7 +150,7 @@ std::vector<CampaignRow> aggregate_trial_rows(
 }
 
 CampaignResult run_campaign(const CampaignSpec& campaign,
-                            const RunnerOptions& opts) {
+                            const RunnerOptions& opts, const RowSink& sink) {
   // Validate everything name-shaped before spawning any work, so a typo'd
   // campaign fails fast with the registry contents in the message —
   // configuration errors are never "failed cells".
@@ -136,7 +178,19 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
           "'; available: " + deployment::scenario_names());
     }
   }
-  const std::size_t shard_count = std::max<std::size_t>(campaign.shard_count, 1);
+  // Written so a NaN target fails too.
+  if (!(campaign.target_stderr >= 0.0)) {
+    throw std::invalid_argument(
+        "run_campaign: target_stderr must be >= 0 (0 disables stopping)");
+  }
+  const bool adaptive = campaign.target_stderr > 0.0;
+  if (!adaptive && campaign.max_trials != 0) {
+    throw std::invalid_argument(
+        "run_campaign: max_trials is the adaptive trial budget and needs "
+        "target_stderr > 0; fixed campaigns size themselves with trials");
+  }
+  const std::size_t shard_count =
+      std::max<std::size_t>(campaign.shard_count, 1);
   if (campaign.shard_index >= shard_count) {
     throw std::invalid_argument(
         "run_campaign: shard index " + std::to_string(campaign.shard_index) +
@@ -152,14 +206,31 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
         "run_campaign: merge_only assembles rows from cache hits and "
         "needs cache_dir");
   }
+  if (adaptive && shard_count > 1) {
+    throw std::invalid_argument(
+        "run_campaign: adaptive stopping cannot be sharded — shards cannot "
+        "observe each other's trial rows to agree on when to stop");
+  }
+  if (adaptive && campaign.merge_only) {
+    throw std::invalid_argument(
+        "run_campaign: merge_only assembles cached cells and makes no "
+        "stopping decisions; disable target_stderr");
+  }
 
-  const std::size_t num_trials = campaign.trials;
   const std::size_t num_specs = campaign.experiments.size();
-  const std::size_t num_cells = num_trials * num_specs;
+  // The trial budget: how many trials may ever be scheduled. Fixed runs
+  // schedule exactly `trials`; adaptive runs stop earlier once converged.
+  const std::size_t budget = adaptive && campaign.max_trials != 0
+                                 ? campaign.max_trials
+                                 : campaign.trials;
+  const std::size_t wave_stride =
+      campaign.wave_size != 0 ? campaign.wave_size
+                              : (adaptive ? kDefaultAdaptiveWave : budget);
+  const std::size_t num_cells = budget * num_specs;
   constexpr std::size_t kNotActive = static_cast<std::size_t>(-1);
 
-  std::vector<TrialState> states(num_trials);
-  for (std::size_t t = 0; t < num_trials; ++t) {
+  std::vector<TrialState> states(budget);
+  for (std::size_t t = 0; t < budget; ++t) {
     states[t].seed = topology::trial_seed(campaign.seed, campaign.topology, t);
   }
 
@@ -174,6 +245,19 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
     std::vector<std::uint64_t> spec_fps(num_specs);
     for (std::size_t s = 0; s < num_specs; ++s) {
       spec_fps[s] = spec_fingerprint(campaign.experiments[s]);
+      if (adaptive) {
+        // An adaptive run answers a different question ("enough trials
+        // for this precision") than a fixed one, so its cells must never
+        // be served into — or from — a fixed campaign's cache entries,
+        // nor across different adaptive configs. Fixed runs keep the
+        // plain experiment fingerprint and their existing caches.
+        util::Fingerprint fp;
+        fp.mix(spec_fps[s]);
+        fp.mix(campaign.target_stderr);
+        fp.mix(static_cast<std::uint64_t>(campaign.wave_size));
+        fp.mix(static_cast<std::uint64_t>(campaign.max_trials));
+        spec_fps[s] = fp.value();
+      }
     }
     for (std::size_t cell = 0; cell < num_cells; ++cell) {
       keys[cell] = {topo_fp, states[cell / num_specs].seed,
@@ -190,18 +274,10 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
                                    ? campaign.fault_spec
                                    : fault_spec_from_env());
 
-  // Cache consult: every in-shard (trial, spec) cell whose row is already
-  // stored under (topology fingerprint, trial seed, spec fingerprint)
-  // skips straight to row emission — it contributes no prep and no pair
-  // units, and a trial whose every cell hits is never even generated.
   std::unique_ptr<CampaignCache> cache;
-  std::vector<std::optional<ExperimentRow>> cached(num_cells);
   if (!campaign.cache_dir.empty()) {
     cache = std::make_unique<CampaignCache>(campaign.cache_dir);
     if (injector.enabled()) cache->set_fault_injector(&injector);
-    for (std::size_t cell = 0; cell < num_cells; ++cell) {
-      if (in_shard(cell)) cached[cell] = cache->lookup(keys[cell]);
-    }
   }
 
   CampaignResult result;
@@ -216,13 +292,14 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
     for (std::size_t cell = 0; cell < num_cells; ++cell) {
       const std::size_t t = cell / num_specs;
       const std::size_t s = cell % num_specs;
-      if (cached[cell].has_value()) {
+      if (auto row = cache->lookup(keys[cell]); row.has_value()) {
         CampaignTrialRow tr;
         tr.topology = campaign.topology;
         tr.trial = t;
         tr.topology_seed = states[t].seed;
         tr.spec_index = s;
-        tr.row = std::move(*cached[cell]);
+        tr.row = std::move(*row);
+        if (sink) sink(tr);
         result.trial_rows.push_back(std::move(tr));
       } else {
         result.failed_cells.push_back(
@@ -243,93 +320,19 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
     return result;
   }
 
-  // The cells and trials that still need engine work: in this shard and
-  // not served from cache.
-  std::vector<std::size_t> active_cells;
-  std::vector<std::size_t> active_index(num_cells, kNotActive);
-  active_cells.reserve(num_cells);
-  for (std::size_t cell = 0; cell < num_cells; ++cell) {
-    if (in_shard(cell) && !cached[cell].has_value()) {
-      active_index[cell] = active_cells.size();
-      active_cells.push_back(cell);
-    }
-  }
-  std::vector<std::size_t> active_trials;
-  {
-    std::vector<char> needed(num_trials, 0);
-    for (const std::size_t cell : active_cells) needed[cell / num_specs] = 1;
-    for (std::size_t t = 0; t < num_trials; ++t) {
-      if (needed[t] != 0) active_trials.push_back(t);
-    }
-  }
-  const std::size_t num_prep = active_trials.size();
-
-  // Unit layout of the single submission: indices [0, num_prep) prepare
-  // the active trials (generate + classify + resolve every spec); the rest
-  // are per-pair units, one active (trial, spec) cell after another, each
-  // cell spanning the requested attackers x destinations grid. Grid slots
-  // that sampling left empty or where attacker == destination are skipped,
-  // exactly like make_sweep_plan. Prep units sit at the lowest indices
-  // and chunks are handed out in index order, so every prep is claimed
-  // (and being executed) before any worker can block on its trial's
-  // readiness — pair analysis of trial t overlaps generation of trials
-  // t+1...
-  std::vector<std::size_t> cell_end(active_cells.size());
-  {
-    std::size_t unit = num_prep;
-    for (std::size_t k = 0; k < active_cells.size(); ++k) {
-      const auto& spec = campaign.experiments[active_cells[k] % num_specs];
-      unit += spec.num_attackers * spec.num_destinations;
-      cell_end[k] = unit;
-    }
-  }
-  const std::size_t total_units = cell_end.empty() ? num_prep : cell_end.back();
-
   BatchExecutor& exec =
       opts.executor != nullptr ? *opts.executor : BatchExecutor::shared();
   const std::size_t workers = exec.effective_workers(opts.threads);
-  std::vector<std::vector<PairStats>> accs(
-      workers, std::vector<PairStats>(active_cells.size()));
-
-  // One sweep-context token per active cell: all pairs of a cell share the
-  // trial graph, deployment and config, so their per-destination baselines
-  // are mutually reusable — and never across cells.
-  std::vector<std::uint64_t> cell_tokens(active_cells.size());
-  for (auto& token : cell_tokens) token = next_sweep_context();
-
-  // Per-cell completion machinery for incremental checkpointing: a cell's
-  // units count down `cell_remaining`; the unit that brings it to zero —
-  // necessarily after every other unit of the cell succeeded, since
-  // failing units never decrement — merges the per-worker partials in
-  // worker order (bit-for-bit deterministic) and installs the row into
-  // the cache immediately. A SIGKILL therefore loses only in-flight
-  // cells. `cell_failed` marks cells whose trial prep failed, so their
-  // trivially-completing units cannot install a garbage row.
-  std::vector<std::atomic<std::size_t>> cell_remaining(active_cells.size());
-  std::vector<std::atomic<bool>> cell_failed(active_cells.size());
-  std::vector<std::atomic<bool>> cell_done(active_cells.size());
-  std::vector<ExperimentRow> cell_rows(active_cells.size());
-  for (std::size_t k = 0; k < active_cells.size(); ++k) {
-    const auto& spec = campaign.experiments[active_cells[k] % num_specs];
-    cell_remaining[k].store(spec.num_attackers * spec.num_destinations,
-                            std::memory_order_relaxed);
-    cell_failed[k].store(false, std::memory_order_relaxed);
-    cell_done[k].store(false, std::memory_order_relaxed);
-  }
+  const bool strict = campaign.strict;
   std::atomic<std::size_t> store_failures{0};
 
-  const bool strict = campaign.strict;
-
-  // Readiness handshake: pair units of a not-yet-prepared trial block on
-  // ready_cv rather than spinning (this box may oversubscribe cores). In
-  // strict mode any throwing unit raises `abort` and notifies, so no
-  // waiter outlives the batch and the executor rethrows the first error;
-  // in isolation mode a failed prep marks its trial `failed` instead, so
-  // only that trial's waiters wake and give up while everything else
-  // keeps running.
-  std::mutex ready_mutex;
-  std::condition_variable ready_cv;
-  std::atomic<bool> abort{false};
+  // Per-spec sequential-stopping state: the running cross-wave
+  // accumulators and the reason scheduling ended.
+  struct SpecState {
+    std::array<util::Accumulator, kNumCampaignMetrics> acc;
+    StoppingReason reason = StoppingReason::kFixed;
+  };
+  std::vector<SpecState> spec_states(num_specs);
 
   const auto make_trial_row = [&](std::size_t cell,
                                   ExperimentRow row) -> CampaignTrialRow {
@@ -342,176 +345,385 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
     return tr;
   };
 
-  /// Marks one unit of cell k complete; the last one merges and installs.
-  const auto finish_unit = [&](std::size_t k) {
-    if (cell_remaining[k].fetch_sub(1, std::memory_order_acq_rel) != 1) {
-      return;
-    }
-    if (cell_failed[k].load(std::memory_order_acquire)) return;
-    const std::size_t cell = active_cells[k];
-    ExperimentRow row =
-        states[cell / num_specs].resolved[cell % num_specs].header;
-    // Merge per-worker integer partials in worker order — bit-for-bit
-    // identical for any worker count, and identical to analyze_sweep.
-    for (std::size_t w = 0; w < workers; ++w) row.stats += accs[w][k];
-    cell_rows[k] = std::move(row);
-    cell_done[k].store(true, std::memory_order_release);
-    if (cache != nullptr) {
-      // A failed install (full disk, injected store fault) must not
-      // discard the result — the engine work is done. Count it and move
-      // on; the next run simply recomputes what was not persisted.
-      try {
-        cache->store(keys[cell], make_trial_row(cell, cell_rows[k]));
-      } catch (const std::runtime_error&) {
-        store_failures.fetch_add(1, std::memory_order_relaxed);
+  // One wave: trials [first_trial, last_trial) x wave_specs, one
+  // BatchExecutor submission (the classic whole-campaign schedule is the
+  // single-wave special case). Appends the wave's rows — in (trial-major,
+  // spec order) emission order — to result.trial_rows, its failures to
+  // result.failed_cells, and hands every completed row to `sink` the
+  // moment order allows.
+  const auto run_wave = [&](std::size_t first_trial, std::size_t last_trial,
+                            const std::vector<std::size_t>& wave_specs) {
+    // The wave's cells in emission order, this shard's only.
+    std::vector<std::size_t> wave_cells;
+    wave_cells.reserve((last_trial - first_trial) * wave_specs.size());
+    for (std::size_t t = first_trial; t < last_trial; ++t) {
+      for (const std::size_t s : wave_specs) {
+        const std::size_t cell = t * num_specs + s;
+        if (in_shard(cell)) wave_cells.push_back(cell);
       }
     }
-  };
+    const std::size_t num_slots = wave_cells.size();
 
-  const auto task = [&](std::size_t worker, std::size_t unit) {
-    try {
-      if (unit < num_prep) {
-        const std::size_t trial = active_trials[unit];
-        TrialState& st = states[trial];
-        st.topo = topology::generate_trial(campaign.topology, campaign.seed,
-                                           trial);
-        st.tiers = st.topo.classify();
-        st.resolver = std::make_unique<ExperimentResolver>(st.topo.graph,
-                                                           st.tiers);
-        // Resolve only the specs this trial still runs: cached cells never
-        // read their ResolvedExperiment slot, so a placeholder suffices
-        // and a partially-warm trial skips the dead rollout/sampling work.
-        st.resolved.resize(num_specs);
-        for (std::size_t s = 0; s < num_specs; ++s) {
-          if (active_index[trial * num_specs + s] != kNotActive) {
-            st.resolved[s] = st.resolver->resolve(campaign.experiments[s]);
-          }
+    // Ordered streaming emitter: every wave cell owns a slot; slots
+    // resolve to a row (cached or computed) or to a failure in completion
+    // order, and the consecutive resolved prefix is handed to the sink —
+    // deterministic emission order, no dependence on worker timing.
+    std::mutex emit_mutex;
+    // 0 pending, 1 row, 2 failed.
+    std::vector<signed char> slot_state(num_slots, 0);
+    std::vector<CampaignTrialRow> slot_rows(num_slots);
+    std::size_t emit_cursor = 0;
+    const auto resolve_slot = [&](std::size_t slot,
+                                  std::optional<CampaignTrialRow> row) {
+      const std::lock_guard<std::mutex> lock(emit_mutex);
+      if (row.has_value()) {
+        slot_rows[slot] = std::move(*row);
+        slot_state[slot] = 1;
+      } else {
+        slot_state[slot] = 2;
+      }
+      while (emit_cursor < num_slots && slot_state[emit_cursor] != 0) {
+        if (slot_state[emit_cursor] == 1 && sink) sink(slot_rows[emit_cursor]);
+        ++emit_cursor;
+      }
+    };
+
+    // Cache consult for this wave's cells only: hits resolve their slots
+    // immediately (streaming as soon as order allows), and a trial whose
+    // every cell hits is never generated. Cells an adaptive campaign
+    // never schedules are never looked up, so cache stats count exactly
+    // the attempted cells.
+    std::vector<char> is_cached(num_slots, 0);
+    if (cache != nullptr) {
+      for (std::size_t i = 0; i < num_slots; ++i) {
+        if (auto row = cache->lookup(keys[wave_cells[i]]); row.has_value()) {
+          is_cached[i] = 1;
+          resolve_slot(i, make_trial_row(wave_cells[i], std::move(*row)));
         }
+      }
+    }
+
+    // The cells that still need engine work, and the trials they require.
+    std::vector<std::size_t> active_slots;  // wave slot of active cell k
+    std::vector<std::size_t> active_of_cell(num_cells, kNotActive);
+    for (std::size_t i = 0; i < num_slots; ++i) {
+      if (is_cached[i] == 0) {
+        active_of_cell[wave_cells[i]] = active_slots.size();
+        active_slots.push_back(i);
+      }
+    }
+    const std::size_t num_active = active_slots.size();
+    std::vector<std::size_t> wave_trials;
+    {
+      std::vector<char> needed(last_trial - first_trial, 0);
+      for (const std::size_t i : active_slots) {
+        needed[wave_cells[i] / num_specs - first_trial] = 1;
+      }
+      for (std::size_t t = first_trial; t < last_trial; ++t) {
+        if (needed[t - first_trial] != 0) wave_trials.push_back(t);
+      }
+    }
+    const std::size_t num_prep = wave_trials.size();
+
+    // Unit layout of the wave's submission: indices [0, num_prep) prepare
+    // the active trials (generate + classify + resolve every scheduled
+    // spec); the rest are per-pair units, one active (trial, spec) cell
+    // after another, each cell spanning the requested attackers x
+    // destinations grid. Grid slots that sampling left empty or where
+    // attacker == destination are skipped, exactly like make_sweep_plan.
+    // Prep units sit at the lowest indices and chunks are handed out in
+    // index order, so every prep is claimed (and being executed) before
+    // any worker can block on its trial's readiness — pair analysis of
+    // trial t overlaps generation of trials t+1...
+    std::vector<std::size_t> cell_end(num_active);
+    {
+      std::size_t unit = num_prep;
+      for (std::size_t k = 0; k < num_active; ++k) {
+        const auto& spec =
+            campaign.experiments[wave_cells[active_slots[k]] % num_specs];
+        unit += spec.num_attackers * spec.num_destinations;
+        cell_end[k] = unit;
+      }
+    }
+    const std::size_t total_units =
+        cell_end.empty() ? num_prep : cell_end.back();
+
+    std::vector<std::vector<PairStats>> accs(
+        workers, std::vector<PairStats>(num_active));
+
+    // One sweep-context token per active cell: all pairs of a cell share
+    // the trial graph, deployment and config, so their per-destination
+    // baselines are mutually reusable — and never across cells.
+    std::vector<std::uint64_t> cell_tokens(num_active);
+    for (auto& token : cell_tokens) token = next_sweep_context();
+
+    // Per-cell completion machinery for incremental checkpointing: a
+    // cell's units count down `cell_remaining`; the unit that brings it
+    // to zero — necessarily after every other unit of the cell succeeded,
+    // since failing units never decrement — merges the per-worker
+    // partials in worker order (bit-for-bit deterministic), installs the
+    // row into the cache immediately, and resolves the cell's emitter
+    // slot. A SIGKILL therefore loses only in-flight cells. `cell_failed`
+    // marks cells whose trial prep failed, so their trivially-completing
+    // units cannot install a garbage row.
+    std::vector<std::atomic<std::size_t>> cell_remaining(num_active);
+    std::vector<std::atomic<bool>> cell_failed(num_active);
+    for (std::size_t k = 0; k < num_active; ++k) {
+      const auto& spec =
+          campaign.experiments[wave_cells[active_slots[k]] % num_specs];
+      cell_remaining[k].store(spec.num_attackers * spec.num_destinations,
+                              std::memory_order_relaxed);
+      cell_failed[k].store(false, std::memory_order_relaxed);
+    }
+
+    // Readiness handshake: pair units of a not-yet-prepared trial block
+    // on ready_cv rather than spinning (this box may oversubscribe
+    // cores). In strict mode any throwing unit raises `abort` and
+    // notifies, so no waiter outlives the batch and the executor rethrows
+    // the first error; in isolation mode a failed prep marks its trial
+    // `failed` instead, so only that trial's waiters wake and give up
+    // while everything else keeps running.
+    std::mutex ready_mutex;
+    std::condition_variable ready_cv;
+    std::atomic<bool> abort{false};
+
+    /// Marks one unit of cell k complete; the last one merges, installs
+    /// and emits.
+    const auto finish_unit = [&](std::size_t k) {
+      if (cell_remaining[k].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+        return;
+      }
+      if (cell_failed[k].load(std::memory_order_acquire)) return;
+      const std::size_t cell = wave_cells[active_slots[k]];
+      ExperimentRow row =
+          states[cell / num_specs].resolved[cell % num_specs].header;
+      // Merge per-worker integer partials in worker order — bit-for-bit
+      // identical for any worker count, and identical to analyze_sweep.
+      for (std::size_t w = 0; w < workers; ++w) row.stats += accs[w][k];
+      if (cache != nullptr) {
+        // A failed install (full disk, injected store fault) must not
+        // discard the result — the engine work is done. Count it and move
+        // on; the next run simply recomputes what was not persisted.
+        try {
+          cache->store(keys[cell], make_trial_row(cell, row));
+        } catch (const std::runtime_error&) {
+          store_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      resolve_slot(active_slots[k], make_trial_row(cell, std::move(row)));
+    };
+
+    const auto task = [&](std::size_t worker, std::size_t unit) {
+      try {
+        if (unit < num_prep) {
+          const std::size_t trial = wave_trials[unit];
+          TrialState& st = states[trial];
+          st.topo = topology::generate_trial(campaign.topology, campaign.seed,
+                                             trial);
+          st.tiers = st.topo.classify();
+          st.resolver = std::make_unique<ExperimentResolver>(st.topo.graph,
+                                                             st.tiers);
+          // Resolve only the specs this trial still runs: cached cells
+          // never read their ResolvedExperiment slot, so a placeholder
+          // suffices and a partially-warm trial skips the dead
+          // rollout/sampling work. Specs an adaptive campaign already
+          // stopped are not even part of this wave.
+          st.resolved.resize(num_specs);
+          for (std::size_t s = 0; s < num_specs; ++s) {
+            if (active_of_cell[trial * num_specs + s] != kNotActive) {
+              st.resolved[s] = st.resolver->resolve(campaign.experiments[s]);
+            }
+          }
+          {
+            const std::lock_guard<std::mutex> lock(ready_mutex);
+            st.ready.store(true, std::memory_order_release);
+          }
+          ready_cv.notify_all();
+          return;
+        }
+        const std::size_t k = static_cast<std::size_t>(
+            std::upper_bound(cell_end.begin(), cell_end.end(), unit) -
+            cell_end.begin());
+        const std::size_t cell = wave_cells[active_slots[k]];
+        const std::size_t trial = cell / num_specs;
+        TrialState& st = states[trial];
+        if (!st.ready.load(std::memory_order_acquire) &&
+            !st.failed.load(std::memory_order_acquire)) {
+          std::unique_lock<std::mutex> lock(ready_mutex);
+          ready_cv.wait(lock, [&] {
+            return st.ready.load(std::memory_order_acquire) ||
+                   st.failed.load(std::memory_order_acquire) ||
+                   abort.load(std::memory_order_relaxed);
+          });
+        }
+        if (abort.load(std::memory_order_relaxed)) return;
+        if (st.failed.load(std::memory_order_acquire)) {
+          // Isolation mode: the whole trial is failed by its prep — mark
+          // the cell so the countdown cannot install a row, then count
+          // this unit done (it has nothing to compute).
+          cell_failed[k].store(true, std::memory_order_release);
+          finish_unit(k);
+          return;
+        }
+        // Deterministic fault injection, keyed by the cell's stable
+        // fingerprint: every unit of a doomed cell throws, on every
+        // worker count, with or without a cache — so a faulted run fails
+        // the exact same cells everywhere.
+        injector.maybe_throw(FaultSite::kAnalysisUnit, cell_fps[cell],
+                             "analysis unit of trial " +
+                                 std::to_string(trial) + " spec " +
+                                 std::to_string(cell % num_specs));
+        const std::size_t cell_begin = k == 0 ? num_prep : cell_end[k - 1];
+        const std::size_t slot = unit - cell_begin;
+        const ResolvedExperiment& re = st.resolved[cell % num_specs];
+        // Destination-major slot order: consecutive units of a cell share
+        // a destination, so chunked workers hit the workspace's
+        // per-destination baseline cache. The skip rules match
+        // make_sweep_plan exactly.
+        const std::size_t grid_rows =
+            campaign.experiments[cell % num_specs].num_attackers;
+        const std::size_t a = slot % grid_rows;
+        const std::size_t d = slot / grid_rows;
+        if (a < re.attackers.size() && d < re.destinations.size() &&
+            re.attackers[a] != re.destinations[d]) {
+          accumulate_pair_into(st.topo.graph, re.destinations[d],
+                               re.attackers[a], re.cfg, *re.deployment,
+                               exec.workspace(worker), cell_tokens[k],
+                               accs[worker][k]);
+        }
+        finish_unit(k);
+      } catch (...) {
+        // The store must happen under the mutex, or a waiter between its
+        // predicate check and its sleep would miss this (final) wakeup.
         {
           const std::lock_guard<std::mutex> lock(ready_mutex);
-          st.ready.store(true, std::memory_order_release);
+          if (strict) {
+            abort.store(true, std::memory_order_relaxed);
+          } else if (unit < num_prep) {
+            states[wave_trials[unit]].failed.store(true,
+                                                   std::memory_order_release);
+          }
         }
         ready_cv.notify_all();
-        return;
+        throw;
       }
-      const std::size_t k = static_cast<std::size_t>(
-          std::upper_bound(cell_end.begin(), cell_end.end(), unit) -
-          cell_end.begin());
-      const std::size_t cell = active_cells[k];
-      const std::size_t trial = cell / num_specs;
-      TrialState& st = states[trial];
-      if (!st.ready.load(std::memory_order_acquire) &&
-          !st.failed.load(std::memory_order_acquire)) {
-        std::unique_lock<std::mutex> lock(ready_mutex);
-        ready_cv.wait(lock, [&] {
-          return st.ready.load(std::memory_order_acquire) ||
-                 st.failed.load(std::memory_order_acquire) ||
-                 abort.load(std::memory_order_relaxed);
-        });
+    };
+
+    std::vector<UnitFailure> unit_failures;
+    if (strict) {
+      exec.run(total_units, task, workers);
+    } else {
+      unit_failures = exec.run_isolated(total_units, task, workers);
+    }
+
+    // Map unit failures onto cells: a prep failure fails every active
+    // cell of its trial; a pair-unit failure fails its own cell. The
+    // first failure (lowest unit index — run_isolated returns them
+    // sorted) wins the cell's error message.
+    std::vector<std::string> cell_error(num_active);
+    std::vector<std::string> trial_error(last_trial - first_trial);
+    for (const auto& f : unit_failures) {
+      if (f.index < num_prep) {
+        auto& err = trial_error[wave_trials[f.index] - first_trial];
+        if (err.empty()) err = "trial preparation failed: " + f.message;
+      } else {
+        const std::size_t k = static_cast<std::size_t>(
+            std::upper_bound(cell_end.begin(), cell_end.end(), f.index) -
+            cell_end.begin());
+        if (cell_error[k].empty()) cell_error[k] = f.message;
       }
-      if (abort.load(std::memory_order_relaxed)) return;
-      if (st.failed.load(std::memory_order_acquire)) {
-        // Isolation mode: the whole trial is failed by its prep — mark the
-        // cell so the countdown cannot install a row, then count this unit
-        // done (it has nothing to compute).
-        cell_failed[k].store(true, std::memory_order_release);
-        finish_unit(k);
-        return;
+    }
+
+    // Wave-end flush: every slot still pending is a failed cell (its
+    // units never all finished, or its trial prep threw). Resolving them
+    // in slot order keeps sink emission ordered; the executor barrier
+    // above means no worker touches the emitter concurrently anymore.
+    for (std::size_t i = 0; i < num_slots; ++i) {
+      if (slot_state[i] != 0) continue;
+      const std::size_t cell = wave_cells[i];
+      const std::size_t k = active_of_cell[cell];
+      std::string error =
+          !cell_error[k].empty()
+              ? cell_error[k]
+              : trial_error[cell / num_specs - first_trial];
+      if (error.empty()) error = "cell did not complete";
+      result.failed_cells.push_back(
+          {cell / num_specs, cell % num_specs, std::move(error)});
+      resolve_slot(i, std::nullopt);
+    }
+
+    // Append the wave's rows in emission order — result order and sink
+    // order are the same by construction.
+    for (std::size_t i = 0; i < num_slots; ++i) {
+      if (slot_state[i] == 1) {
+        result.trial_rows.push_back(std::move(slot_rows[i]));
       }
-      // Deterministic fault injection, keyed by the cell's stable
-      // fingerprint: every unit of a doomed cell throws, on every worker
-      // count, with or without a cache — so a faulted run fails the exact
-      // same cells everywhere.
-      injector.maybe_throw(FaultSite::kAnalysisUnit, cell_fps[cell],
-                           "analysis unit of trial " + std::to_string(trial) +
-                               " spec " + std::to_string(cell % num_specs));
-      const std::size_t cell_begin = k == 0 ? num_prep : cell_end[k - 1];
-      const std::size_t slot = unit - cell_begin;
-      const ResolvedExperiment& re = st.resolved[cell % num_specs];
-      // Destination-major slot order: consecutive units of a cell share a
-      // destination, so chunked workers hit the workspace's per-destination
-      // baseline cache. The skip rules match make_sweep_plan exactly.
-      const std::size_t grid_rows =
-          campaign.experiments[cell % num_specs].num_attackers;
-      const std::size_t a = slot % grid_rows;
-      const std::size_t d = slot / grid_rows;
-      if (a < re.attackers.size() && d < re.destinations.size() &&
-          re.attackers[a] != re.destinations[d]) {
-        accumulate_pair_into(st.topo.graph, re.destinations[d],
-                             re.attackers[a], re.cfg, *re.deployment,
-                             exec.workspace(worker), cell_tokens[k],
-                             accs[worker][k]);
-      }
-      finish_unit(k);
-    } catch (...) {
-      // The store must happen under the mutex, or a waiter between its
-      // predicate check and its sleep would miss this (final) wakeup.
-      {
-        const std::lock_guard<std::mutex> lock(ready_mutex);
-        if (strict) {
-          abort.store(true, std::memory_order_relaxed);
-        } else if (unit < num_prep) {
-          states[active_trials[unit]].failed.store(true,
-                                                   std::memory_order_release);
-        }
-      }
-      ready_cv.notify_all();
-      throw;
     }
   };
 
-  std::vector<UnitFailure> unit_failures;
-  if (strict) {
-    exec.run(total_units, task, workers);
-  } else {
-    unit_failures = exec.run_isolated(total_units, task, workers);
-  }
+  // The wave loop. Fixed campaigns run [0, budget) in ceil(budget /
+  // wave_stride) waves — one, by default — with every spec in every wave,
+  // so the schedule (and the emitted bytes) match the classic single
+  // submission. Adaptive campaigns drop converged specs from subsequent
+  // waves until every spec stopped or the budget is spent.
+  std::vector<std::size_t> running;
+  running.reserve(num_specs);
+  for (std::size_t s = 0; s < num_specs; ++s) running.push_back(s);
 
-  // Map unit failures onto cells: a prep failure fails every active cell
-  // of its trial; a pair-unit failure fails its own cell. The first
-  // failure (lowest unit index — run_isolated returns them sorted) wins
-  // the cell's error message.
-  std::vector<std::string> cell_error(active_cells.size());
-  std::vector<std::string> trial_error(num_trials);
-  for (const auto& f : unit_failures) {
-    if (f.index < num_prep) {
-      const std::size_t trial = active_trials[f.index];
-      if (trial_error[trial].empty()) {
-        trial_error[trial] = "trial preparation failed: " + f.message;
+  std::size_t next_trial = 0;
+  while (next_trial < budget && !running.empty()) {
+    const std::size_t last_trial = std::min(budget, next_trial + wave_stride);
+    const std::size_t rows_before = result.trial_rows.size();
+    run_wave(next_trial, last_trial, running);
+    next_trial = last_trial;
+
+    // Fold the wave's rows into the running per-spec accumulators: one
+    // wave-local accumulator per spec (rows added in trial order), merged
+    // in wave order — the same deterministic sequence for any worker
+    // count, since rows themselves are worker-count independent.
+    std::vector<std::array<util::Accumulator, kNumCampaignMetrics>> wave_acc(
+        num_specs);
+    for (std::size_t i = rows_before; i < result.trial_rows.size(); ++i) {
+      const auto& tr = result.trial_rows[i];
+      const auto values = campaign_metrics(tr.row.stats);
+      for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+        wave_acc[tr.spec_index][m].add(values[m]);
       }
-    } else {
-      const std::size_t k = static_cast<std::size_t>(
-          std::upper_bound(cell_end.begin(), cell_end.end(), f.index) -
-          cell_end.begin());
-      if (cell_error[k].empty()) cell_error[k] = f.message;
+    }
+    for (const std::size_t s : running) {
+      for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+        spec_states[s].acc[m].merge(wave_acc[s][m]);
+      }
+    }
+
+    if (!adaptive) continue;
+    // Sequential stopping: a spec converges when every metric's stderr is
+    // at or below the target. At least two realized trials are required —
+    // std_error() is 0 for n < 2, which must not read as "converged".
+    std::vector<std::size_t> still_running;
+    for (const std::size_t s : running) {
+      const auto& acc = spec_states[s].acc;
+      bool converged = acc.front().count() >= 2;
+      for (std::size_t m = 0; converged && m < kNumCampaignMetrics; ++m) {
+        converged = acc[m].std_error() <= campaign.target_stderr;
+      }
+      if (converged) {
+        spec_states[s].reason = StoppingReason::kConverged;
+      } else {
+        still_running.push_back(s);
+      }
+    }
+    running = std::move(still_running);
+  }
+  if (adaptive) {
+    for (const std::size_t s : running) {
+      spec_states[s].reason = StoppingReason::kBudget;
     }
   }
 
-  result.trial_rows.reserve(num_cells);
-  for (std::size_t cell = 0; cell < num_cells; ++cell) {
-    if (!in_shard(cell)) continue;
-    if (cached[cell].has_value()) {
-      result.trial_rows.push_back(
-          make_trial_row(cell, std::move(*cached[cell])));
-      continue;
-    }
-    const std::size_t k = active_index[cell];
-    if (cell_done[k].load(std::memory_order_acquire)) {
-      result.trial_rows.push_back(
-          make_trial_row(cell, std::move(cell_rows[k])));
-      continue;
-    }
-    // Not cached, not completed: in isolation mode every such cell maps
-    // to a captured failure (its own unit's, or its trial prep's).
-    std::string error = !cell_error[k].empty()
-                            ? cell_error[k]
-                            : trial_error[cell / num_specs];
-    if (error.empty()) error = "cell did not complete";
-    result.failed_cells.push_back(
-        {cell / num_specs, cell % num_specs, std::move(error)});
-  }
   result.rows = aggregate_trial_rows(result.trial_rows);
   for (auto& row : result.rows) {
+    row.stopping = spec_states[row.spec_index].reason;
     for (const auto& f : result.failed_cells) {
       if (f.spec_index == row.spec_index) ++row.failed_trials;
     }

@@ -6,14 +6,21 @@
 // pure data: a topology::topology_registry() name, a trial count, a master
 // seed, and the ExperimentSpec list to evaluate on every trial's topology.
 //
-// Scheduling: run_campaign flattens the whole campaign — every trial's
-// topology prep plus every (trial, spec, pair) work item — into a single
-// BatchExecutor submission. Short specs no longer serialize behind long
-// ones at per-spec run() barriers, and topology generation for later
+// Scheduling: run_campaign submits trials in waves. Each wave flattens its
+// trials' topology prep plus every (trial, spec, pair) work item — into a
+// single BatchExecutor submission. Short specs no longer serialize behind
+// long ones at per-spec run() barriers, and topology generation for later
 // trials overlaps pair analysis of earlier ones: prep units occupy the
 // lowest indices, so workers draining pair chunks of trial t while another
 // worker is still generating trial t+1 is the steady state, not a special
-// case.
+// case. A fixed campaign (no target_stderr, no wave_size) is one wave —
+// exactly the old single-submission schedule. With target_stderr set the
+// wave barriers become sequential stopping points: after each wave every
+// still-running spec folds the wave's per-trial metric values into its
+// running util::Accumulators (Accumulator::merge, in wave order), and a
+// spec whose every metric has std_error() <= target_stderr stops
+// scheduling further trials — "as few trials as the precision target
+// allows" instead of "as many as we budgeted".
 //
 // Determinism contract: trial t's topology is generated from
 // topology::trial_seed(seed, topology, t) — reproducible in isolation —
@@ -37,6 +44,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -93,7 +101,47 @@ struct CampaignSpec {
   /// surviving results — failed cells are never cached and never emitted —
   /// and the spec takes no part in any fingerprint.
   FaultSpec fault_spec;
+  /// Sequential stopping target (0 = disabled, the fixed-trial-count
+  /// behavior). When > 0 the campaign runs adaptively: after every wave a
+  /// spec whose 9 campaign_metrics all have accumulator std_error() <=
+  /// target_stderr (with at least 2 trials) stops scheduling further
+  /// trials and its aggregated row reports StoppingReason::kConverged.
+  /// Specs still unconverged when the trial budget runs out report
+  /// kBudget. Adaptive runs cannot be sharded or merge_only (stopping is
+  /// a global decision), and the adaptive configuration is mixed into the
+  /// per-cell cache fingerprints so cached cells are never served across
+  /// different adaptive configs — fixed runs keep their existing keys.
+  double target_stderr = 0.0;
+  /// Trials per wave (0 = default: the whole budget in one wave when
+  /// stopping is off — the classic schedule — or 4 when adaptive).
+  /// Setting wave_size on a fixed campaign only partitions the schedule;
+  /// the emitted rows are identical for any wave size.
+  std::size_t wave_size = 0;
+  /// Adaptive trial budget (0 = use `trials`). Only meaningful with
+  /// target_stderr > 0; a spec that never converges stops here with
+  /// StoppingReason::kBudget.
+  std::size_t max_trials = 0;
 };
+
+/// Why a spec's trial scheduling ended. Serialized as the aggregated
+/// `stopping_reason` column ("fixed" / "converged" / "budget").
+enum class StoppingReason {
+  kFixed,      // stopping disabled: ran the requested trial count
+  kConverged,  // every metric's std_error() reached target_stderr
+  kBudget,     // adaptive, but the trial budget ran out first
+};
+
+[[nodiscard]] std::string_view to_string(StoppingReason reason);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] StoppingReason parse_stopping_reason(std::string_view name);
+
+/// Order-sensitive fingerprint of every result-affecting campaign field:
+/// label, topology, trials, seed, the experiment list (count plus each
+/// spec's fingerprint), and the adaptive config (target_stderr, wave_size,
+/// max_trials). Execution-only knobs — cache_dir, strict, sharding,
+/// merge_only, fault injection — take no part, by the same rule as
+/// ExperimentSpec's fingerprint: equal fingerprints must imply equal rows.
+[[nodiscard]] std::uint64_t spec_fingerprint(const CampaignSpec& campaign);
 
 /// One (trial, experiment spec) result: the same row run_experiment_suite
 /// would produce on that trial's topology, plus the campaign coordinates
@@ -144,8 +192,14 @@ struct CampaignRow {
   std::size_t trials = 0;  // trials that produced a row (failed ones don't)
   /// Cells of this spec that failed (or, merge-only, were missing) and
   /// therefore contribute nothing to the summaries. trials +
-  /// failed_trials == the campaign's trial count for this spec's scope.
+  /// failed_trials == the trials this spec actually scheduled (the full
+  /// campaign trial count unless adaptive stopping ended it early).
   std::size_t failed_trials = 0;
+  /// Why scheduling ended for this spec: kFixed unless the campaign ran
+  /// adaptively (CampaignSpec::target_stderr > 0). With kConverged,
+  /// `trials` is the realized count — how few trials the precision target
+  /// needed, not how many were budgeted.
+  StoppingReason stopping = StoppingReason::kFixed;
   std::array<MetricSummary, kNumCampaignMetrics> metrics;
 
   [[nodiscard]] bool operator==(const CampaignRow&) const = default;
@@ -195,18 +249,32 @@ struct CampaignResult {
 [[nodiscard]] std::vector<CampaignRow> aggregate_trial_rows(
     const std::vector<CampaignTrialRow>& trial_rows);
 
-/// Runs the whole campaign on one BatchExecutor submission (see file
-/// comment), consulting the result cache first when cache_dir is set.
-/// Unit failures are isolated per (trial, spec) cell unless
-/// campaign.strict is set (then the first failure is rethrown, as every
-/// failure during spec validation always is). Throws
+/// Streaming result sink: called once per completed per-trial row, in
+/// exactly the order CampaignResult::trial_rows will hold them (trial-
+/// major, spec order — completed cells are buffered briefly so emission
+/// order never depends on worker timing). Calls are serialized (never
+/// concurrent) but come from worker threads while the campaign is still
+/// running, so a sink wired to a campaign_io appender streams rows to
+/// disk as each cell's last unit finishes instead of at end-of-run; for a
+/// fixed run the streamed file is byte-identical to the end-of-run
+/// writer's. Failed cells emit nothing. The sink must not call back into
+/// the campaign.
+using RowSink = std::function<void(const CampaignTrialRow&)>;
+
+/// Runs the whole campaign in wave-sized BatchExecutor submissions (see
+/// file comment; a fixed campaign is one wave), consulting the result
+/// cache first when cache_dir is set and streaming completed rows through
+/// `sink` when one is given. Unit failures are isolated per (trial, spec)
+/// cell unless campaign.strict is set (then the first failure is
+/// rethrown, as every failure during spec validation always is). Throws
 /// std::invalid_argument — naming the registered topologies / scenarios —
 /// on unknown names, and on empty trial or experiment lists, explicit
-/// attacker/destination AS lists, empty analysis sets, bad shard or
-/// merge-only configurations, or (from trial preparation, strict mode)
-/// out-of-range rollout steps.
+/// attacker/destination AS lists, empty analysis sets, bad shard,
+/// merge-only or adaptive configurations, or (from trial preparation,
+/// strict mode) out-of-range rollout steps.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& campaign,
-                                          const RunnerOptions& opts = {});
+                                          const RunnerOptions& opts = {},
+                                          const RowSink& sink = {});
 
 }  // namespace sbgp::sim
 

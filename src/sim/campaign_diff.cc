@@ -74,16 +74,36 @@ DiffReport diff_campaign_rows(const std::vector<CampaignRow>& baseline,
       report.divergences.push_back({id, "spec", std::to_string(a.spec_index),
                                     std::to_string(b.spec_index)});
     }
-    if (a.trials != b.trials) {
-      report.divergences.push_back(
-          {id, "trials", std::to_string(a.trials), std::to_string(b.trials)});
-    }
-    // Exact, like trials: a candidate that silently dropped cells must not
-    // pass the gate just because the surviving means stayed in tolerance.
-    if (a.failed_trials != b.failed_trials) {
-      report.divergences.push_back({id, "failed_trials",
-                                    std::to_string(a.failed_trials),
-                                    std::to_string(b.failed_trials)});
+    if (opts.adaptive) {
+      // The two runs legitimately realized different trial counts
+      // (sequential stopping ended one early), so the count columns are
+      // reported, not gated.
+      report.notes.push_back(
+          id + ": trials baseline " + std::to_string(a.trials) + " (" +
+          std::string(to_string(a.stopping)) + ", " +
+          std::to_string(a.failed_trials) + " failed), candidate " +
+          std::to_string(b.trials) + " (" +
+          std::string(to_string(b.stopping)) + ", " +
+          std::to_string(b.failed_trials) + " failed)");
+    } else {
+      if (a.trials != b.trials) {
+        report.divergences.push_back(
+            {id, "trials", std::to_string(a.trials),
+             std::to_string(b.trials)});
+      }
+      // Exact, like trials: a candidate that silently dropped cells must
+      // not pass the gate just because the surviving means stayed in
+      // tolerance.
+      if (a.failed_trials != b.failed_trials) {
+        report.divergences.push_back({id, "failed_trials",
+                                      std::to_string(a.failed_trials),
+                                      std::to_string(b.failed_trials)});
+      }
+      if (a.stopping != b.stopping) {
+        report.divergences.push_back({id, "stopping_reason",
+                                      std::string(to_string(a.stopping)),
+                                      std::string(to_string(b.stopping))});
+      }
     }
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
       const auto va = summary_values(a.metrics[m]);
@@ -93,7 +113,10 @@ DiffReport diff_campaign_rows(const std::vector<CampaignRow>& baseline,
       const double combined_se =
           a.metrics[m].std_error + b.metrics[m].std_error;
       const double tol = opts.abs_tol + opts.stderr_scale * combined_se;
-      for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
+      // Adaptive mode compares only the means: stderr, min and max move
+      // with the realized trial count by construction.
+      const std::size_t parts = opts.adaptive ? 1 : kSummaryParts.size();
+      for (std::size_t p = 0; p < parts; ++p) {
         // Written so a NaN on either side fails the comparison.
         if (!(std::fabs(va[p] - vb[p]) <= tol)) {
           report.divergences.push_back(
@@ -107,6 +130,9 @@ DiffReport diff_campaign_rows(const std::vector<CampaignRow>& baseline,
 }
 
 void print_diff_report(std::ostream& os, const DiffReport& report) {
+  for (const auto& note : report.notes) {
+    os << "note: " << note << '\n';
+  }
   if (report.clean()) {
     os << "identical: " << report.rows_compared
        << " rows, no metric divergence\n";

@@ -32,6 +32,14 @@ struct DiffOptions {
   /// Statistical slack: a metric's values additionally match within
   /// stderr_scale * (baseline std_error + candidate std_error).
   double stderr_scale = 0.0;
+  /// Adaptive-vs-fixed comparison: the two row sets legitimately differ
+  /// in realized trial counts (sequential stopping ended one of them
+  /// early), so `trials`, `failed_trials` and the stopping reason are
+  /// reported as informational notes instead of divergences, and only the
+  /// metric means are compared (within abs_tol + stderr_scale * combined
+  /// stderr — stderr/min/max shift with the trial count by construction).
+  /// Off by default: the exact gate stays the regression default.
+  bool adaptive = false;
 };
 
 /// One value that moved: which row, which column, and both renderings.
@@ -47,6 +55,10 @@ struct DiffReport {
   std::size_t candidate_rows = 0;
   std::size_t rows_compared = 0;  // min of the two counts
   std::vector<Divergence> divergences;
+  /// Informational lines (adaptive mode: realized trial counts and
+  /// stopping reasons per row). Printed by print_diff_report; never make
+  /// the report unclean.
+  std::vector<std::string> notes;
 
   /// No divergences and equal row counts.
   [[nodiscard]] bool clean() const {

@@ -409,12 +409,18 @@ std::vector<std::string> trial_row_values(const CampaignTrialRow& r) {
   return fields;
 }
 
+TrialRowCsvAppender::TrialRowCsvAppender(std::ostream& os) : os_(&os) {
+  *os_ << csv_line(trial_row_columns()) << '\n';
+}
+
+void TrialRowCsvAppender::append(const CampaignTrialRow& row) {
+  *os_ << csv_line(trial_row_values(row)) << '\n';
+}
+
 void write_trial_rows_csv(std::ostream& os,
                           const std::vector<CampaignTrialRow>& rows) {
-  os << csv_line(trial_row_columns()) << '\n';
-  for (const auto& r : rows) {
-    os << csv_line(trial_row_values(r)) << '\n';
-  }
+  TrialRowCsvAppender appender(os);
+  for (const auto& r : rows) appender.append(r);
 }
 
 std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
@@ -455,26 +461,47 @@ std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
   return rows;
 }
 
+TrialRowJsonAppender::TrialRowJsonAppender(std::ostream& os) : os_(&os) {
+  *os_ << "[\n";
+}
+
+void TrialRowJsonAppender::append(const CampaignTrialRow& r) {
+  // The previous element is held back until now, when a comma is known to
+  // follow it — the writer's exact no-trailing-comma byte layout, built
+  // incrementally.
+  if (any_) *os_ << pending_ << ",\n";
+  std::ostringstream element;
+  element << "  {\"topology\": " << json_escape(r.topology)
+          << ", \"trial\": " << r.trial
+          << ", \"topology_seed\": " << r.topology_seed
+          << ", \"spec\": " << r.spec_index
+          << ", \"label\": " << json_escape(r.row.label)
+          << ", \"step_label\": " << json_escape(r.row.step_label)
+          << ", \"model\": " << json_escape(to_string(r.row.model))
+          << ", \"hysteresis\": " << (r.row.hysteresis ? "true" : "false");
+  const auto slots = counter_slots(r);
+  for (std::size_t c = 0; c < slots.size(); ++c) {
+    element << ", \"" << kCounterNames[c] << "\": " << *slots[c];
+  }
+  element << '}';
+  pending_ = element.str();
+  any_ = true;
+}
+
+void TrialRowJsonAppender::finish() {
+  if (finished_) {
+    throw std::logic_error("TrialRowJsonAppender: finish() called twice");
+  }
+  finished_ = true;
+  if (any_) *os_ << pending_ << '\n';
+  *os_ << "]\n";
+}
+
 void write_trial_rows_json(std::ostream& os,
                            const std::vector<CampaignTrialRow>& rows) {
-  os << "[\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    os << "  {\"topology\": " << json_escape(r.topology)
-       << ", \"trial\": " << r.trial
-       << ", \"topology_seed\": " << r.topology_seed
-       << ", \"spec\": " << r.spec_index
-       << ", \"label\": " << json_escape(r.row.label)
-       << ", \"step_label\": " << json_escape(r.row.step_label)
-       << ", \"model\": " << json_escape(to_string(r.row.model))
-       << ", \"hysteresis\": " << (r.row.hysteresis ? "true" : "false");
-    const auto slots = counter_slots(r);
-    for (std::size_t c = 0; c < slots.size(); ++c) {
-      os << ", \"" << kCounterNames[c] << "\": " << *slots[c];
-    }
-    os << '}' << (i + 1 < rows.size() ? "," : "") << '\n';
-  }
-  os << "]\n";
+  TrialRowJsonAppender appender(os);
+  for (const auto& r : rows) appender.append(r);
+  appender.finish();
 }
 
 std::vector<CampaignTrialRow> read_trial_rows_json(std::istream& is) {
@@ -504,8 +531,9 @@ std::vector<CampaignTrialRow> read_trial_rows_json(std::istream& is) {
 
 void write_campaign_rows_csv(std::ostream& os,
                              const std::vector<CampaignRow>& rows) {
-  std::vector<std::string> fields = {"label", "topology", "spec", "trials",
-                                     "failed_trials"};
+  std::vector<std::string> fields = {
+      "label", "topology", "spec", "trials", "failed_trials",
+      "stopping_reason"};
   for (const auto metric : campaign_metric_names()) {
     for (const auto part : kSummaryParts) {
       fields.push_back(std::string(metric) + '_' + std::string(part));
@@ -519,6 +547,7 @@ void write_campaign_rows_csv(std::ostream& os,
     fields.push_back(std::to_string(r.spec_index));
     fields.push_back(std::to_string(r.trials));
     fields.push_back(std::to_string(r.failed_trials));
+    fields.emplace_back(to_string(r.stopping));
     for (const auto& m : r.metrics) {
       for (const double v : summary_values(m)) {
         fields.push_back(format_double(v));
@@ -534,26 +563,36 @@ std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
   if (!ok) {
     throw std::invalid_argument("read_campaign_rows_csv: empty input");
   }
-  // Accept both the current schema and the pre-failed_trials one, so
-  // baselines written before the column existed keep parsing (they imply
-  // failed_trials == 0, which is what a baseline should have anyway).
-  std::vector<std::string> expected = {"label", "topology", "spec", "trials",
-                                       "failed_trials"};
-  std::vector<std::string> legacy = {"label", "topology", "spec", "trials"};
+  // Accept all three header generations — neither extra column, just
+  // failed_trials, and failed_trials + stopping_reason — so baselines
+  // written before either column existed keep parsing. Absent columns
+  // mean failed_trials == 0 and StoppingReason::kFixed, which is exactly
+  // what those older (clean, fixed-trial-count) files recorded.
+  std::vector<std::string> metric_columns;
   for (const auto metric : campaign_metric_names()) {
     for (const auto part : kSummaryParts) {
-      expected.push_back(std::string(metric) + '_' + std::string(part));
-      legacy.push_back(std::string(metric) + '_' + std::string(part));
+      metric_columns.push_back(std::string(metric) + '_' + std::string(part));
     }
   }
+  const auto make_header = [&](bool failed, bool stopping) {
+    std::vector<std::string> h = {"label", "topology", "spec", "trials"};
+    if (failed) h.emplace_back("failed_trials");
+    if (stopping) h.emplace_back("stopping_reason");
+    h.insert(h.end(), metric_columns.begin(), metric_columns.end());
+    return h;
+  };
   const auto header_fields = split_csv_line(header);
   bool has_failed_trials = true;
-  if (header_fields == legacy) {
+  bool has_stopping = true;
+  if (header_fields == make_header(false, false)) {
     has_failed_trials = false;
-  } else if (header_fields != expected) {
+    has_stopping = false;
+  } else if (header_fields == make_header(true, false)) {
+    has_stopping = false;
+  } else if (header_fields != make_header(true, true)) {
     throw std::invalid_argument("read_campaign_rows_csv: header mismatch");
   }
-  const std::size_t arity = has_failed_trials ? expected.size() : legacy.size();
+  const std::size_t arity = header_fields.size();
   std::vector<CampaignRow> rows;
   for (;;) {
     const std::string line = read_line(is, ok);
@@ -571,6 +610,9 @@ std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
     std::size_t f = 4;
     if (has_failed_trials) {
       r.failed_trials = static_cast<std::size_t>(parse_u64(fields[f++]));
+    }
+    if (has_stopping) {
+      r.stopping = parse_stopping_reason(fields[f++]);
     }
     for (auto& m : r.metrics) {
       std::array<double, 4> v;
@@ -590,7 +632,9 @@ void write_campaign_rows_json(std::ostream& os,
     os << "  {\"label\": " << json_escape(r.label)
        << ", \"topology\": " << json_escape(r.topology)
        << ", \"spec\": " << r.spec_index << ", \"trials\": " << r.trials
-       << ", \"failed_trials\": " << r.failed_trials << ", \"metrics\": {";
+       << ", \"failed_trials\": " << r.failed_trials
+       << ", \"stopping_reason\": " << json_escape(to_string(r.stopping))
+       << ", \"metrics\": {";
     const auto& names = campaign_metric_names();
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
       if (m != 0) os << ", ";
@@ -620,6 +664,10 @@ std::vector<CampaignRow> read_campaign_rows_json(std::istream& is) {
     // Optional for pre-failed_trials files (absent means a clean run).
     if (obj.find("failed_trials") != nullptr) {
       r.failed_trials = static_cast<std::size_t>(obj.as_u64("failed_trials"));
+    }
+    // Optional for pre-adaptive files (absent means a fixed-count run).
+    if (const JsonValue* reason = obj.find("stopping_reason")) {
+      r.stopping = parse_stopping_reason(reason->text);
     }
     const JsonValue& metrics = obj.at("metrics");
     const auto& names = campaign_metric_names();

@@ -45,7 +45,46 @@ void write_trial_rows_json(std::ostream& os,
 [[nodiscard]] std::vector<CampaignTrialRow> read_trial_rows_json(
     std::istream& is);
 
+/// Streaming per-trial CSV sink: the header is written at construction,
+/// one row per append(). Wiring `append` as a sim::RowSink streams rows to
+/// disk as cells complete, and the resulting file is byte-identical to
+/// write_trial_rows_csv over the same row sequence (that writer is built
+/// on this class). The stream must outlive the appender.
+class TrialRowCsvAppender {
+ public:
+  explicit TrialRowCsvAppender(std::ostream& os);
+  void append(const CampaignTrialRow& row);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Streaming per-trial JSON sink: "[" at construction, one array element
+/// per append(), "]" on finish() — which must be called exactly once after
+/// the last row (the destructor does NOT close the array, so a crashed
+/// producer leaves an obviously-truncated file rather than a silently
+/// short one). Byte-identical to write_trial_rows_json over the same rows.
+class TrialRowJsonAppender {
+ public:
+  explicit TrialRowJsonAppender(std::ostream& os);
+  void append(const CampaignTrialRow& row);
+  void finish();
+
+ private:
+  std::ostream* os_;
+  std::string pending_;  // previous element, held back until we know
+                         // whether a comma or the closing bracket follows
+  bool any_ = false;
+  bool finished_ = false;
+};
+
 // --- aggregated rows -------------------------------------------------------
+
+// The aggregated schema has grown twice: `failed_trials` (always 0 for a
+// clean run) and `stopping_reason` ("fixed" / "converged" / "budget" —
+// the adaptive-stopping outcome, sim::StoppingReason). The readers accept
+// all three header generations; absent columns default to 0 / kFixed,
+// which is exactly what files written before the columns existed mean.
 
 void write_campaign_rows_csv(std::ostream& os,
                              const std::vector<CampaignRow>& rows);

@@ -27,7 +27,9 @@ Summary summarize(const std::vector<double>& values) {
 
 double quantile(std::vector<double> values, double q) {
   if (values.empty()) throw std::invalid_argument("quantile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q outside [0,1]");
+  }
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -60,6 +62,29 @@ void Accumulator::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.n_ == 1) {
+    // Exactly the sequential update, so a chain of singleton merges is
+    // bit-for-bit identical to a chain of add() calls.
+    add(other.mean_);
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 double Accumulator::variance() const {

@@ -36,6 +36,14 @@ class Accumulator {
  public:
   void add(double x);
 
+  /// Fold `other` into this accumulator (Chan's parallel Welford combine).
+  /// Merging partials in a fixed order is deterministic, which is what lets
+  /// the campaign layer combine per-wave partials without perturbing the
+  /// bit-for-bit thread-count independence of the aggregated rows. Merging
+  /// an empty accumulator is a no-op; merging a singleton is exactly
+  /// `add(other.mean())`.
+  void merge(const Accumulator& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   /// Mean of the sample so far (0 when empty).
   [[nodiscard]] double mean() const { return mean_; }

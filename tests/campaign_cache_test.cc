@@ -160,6 +160,33 @@ TEST(SpecFingerprint, ExperimentSpecSensitiveToEveryField) {
   EXPECT_NE(spec_fingerprint(split_a), spec_fingerprint(split_b));
 }
 
+TEST(SpecFingerprint, CampaignSpecSensitiveToEveryField) {
+  CampaignSpec base;
+  base.experiments.emplace_back();
+  const std::uint64_t fp = spec_fingerprint(base);
+  EXPECT_EQ(fp, spec_fingerprint(base)) << "must be deterministic";
+
+  using Mutator = std::function<void(CampaignSpec&)>;
+  const std::vector<std::pair<const char*, Mutator>> mutators = {
+      {"label", [](auto& c) { c.label = "renamed"; }},
+      {"topology", [](auto& c) { c.topology = "tiny-500"; }},
+      {"trials", [](auto& c) { c.trials += 1; }},
+      {"seed", [](auto& c) { c.seed += 1; }},
+      {"experiments.size", [](auto& c) { c.experiments.emplace_back(); }},
+      {"experiments[0]",
+       [](auto& c) { c.experiments[0].sample_seed += 1; }},
+      {"target_stderr", [](auto& c) { c.target_stderr = 0.25; }},
+      {"wave_size", [](auto& c) { c.wave_size = 2; }},
+      {"max_trials", [](auto& c) { c.max_trials = 64; }},
+  };
+  for (const auto& [name, mutate] : mutators) {
+    CampaignSpec changed = base;
+    mutate(changed);
+    EXPECT_NE(spec_fingerprint(changed), fp)
+        << "fingerprint insensitive to field " << name;
+  }
+}
+
 TEST(CampaignCache, StoreLookupRoundTrip) {
   const TempDir dir;
   CampaignCache cache(dir.str());
@@ -278,6 +305,42 @@ TEST(CampaignCache, AnySpecOrSeedChangeMisses) {
   const CampaignResult r3 = run_campaign(extended);
   EXPECT_EQ(r3.cache_hits, cells);
   EXPECT_EQ(r3.cache_misses, extended.experiments.size());
+}
+
+TEST(CampaignCache, AdaptiveRunsWarmFromTheirOwnCellsOnly) {
+  // Adaptive runs mix target_stderr/wave_size/max_trials into their cell
+  // keys: an identical adaptive re-run is fully warm and byte-identical,
+  // but neither a fixed run nor an adaptive run with a different stopping
+  // config can be served those cells — a cached row must never cross
+  // adaptive configurations, whose schedules (and thus aggregate meaning)
+  // differ.
+  const TempDir dir;
+  CampaignSpec adaptive = cached_campaign(dir.str());
+  adaptive.target_stderr = 0.5;
+  adaptive.wave_size = 2;
+
+  const CampaignResult cold = run_campaign(adaptive);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  const std::size_t scheduled = cold.cache_misses;
+  EXPECT_EQ(scheduled, cold.trial_rows.size());
+
+  const CampaignResult warm = run_campaign(adaptive);
+  EXPECT_EQ(warm.cache_hits, scheduled);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.trial_rows, cold.trial_rows);
+  EXPECT_EQ(warm.rows, cold.rows);
+
+  // A fixed run over the same cache dir keeps its historical keys and
+  // sees none of the adaptive cells.
+  const CampaignSpec fixed = cached_campaign(dir.str());
+  const CampaignResult fixed_run = run_campaign(fixed);
+  EXPECT_EQ(fixed_run.cache_hits, 0u);
+
+  // A different stopping target is a different adaptive config: cold too.
+  CampaignSpec retargeted = adaptive;
+  retargeted.target_stderr = 0.9;
+  const CampaignResult other = run_campaign(retargeted);
+  EXPECT_EQ(other.cache_hits, 0u);
 }
 
 TEST(CampaignCache, InstallLeavesEntryNextToItsLockFile) {

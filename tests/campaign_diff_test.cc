@@ -140,5 +140,68 @@ TEST(CampaignDiff, IdentityColumnChangesAreDivergences) {
   EXPECT_EQ(report.divergences[1].column, "trials");
 }
 
+TEST(CampaignDiff, StoppingReasonIsExactByDefault) {
+  const auto baseline = sample_campaign_rows();
+  auto candidate = baseline;
+  candidate[0].stopping = StoppingReason::kConverged;
+  const DiffReport report = diff_campaign_rows(baseline, candidate);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_EQ(report.divergences[0].column, "stopping_reason");
+  EXPECT_EQ(report.divergences[0].baseline, "fixed");
+  EXPECT_EQ(report.divergences[0].candidate, "converged");
+}
+
+TEST(CampaignDiff, AdaptiveModeGatesMeansAndNotesCounts) {
+  // An adaptive candidate against a fixed baseline: fewer realized
+  // trials, a different stopping reason, and a shifted stderr/min/max
+  // envelope — all legitimate, so with --adaptive the report is clean and
+  // the count differences surface as notes. The same pair under the
+  // default exact options must diverge loudly.
+  const auto baseline = sample_campaign_rows();
+  auto candidate = baseline;
+  candidate[0].trials = 1;  // stopped early
+  candidate[0].stopping = StoppingReason::kConverged;
+  candidate[0].metrics[2].mean += 0.015;      // within 1 combined stderr
+  candidate[0].metrics[2].std_error = 0.01;
+  candidate[0].metrics[2].min = 0.3;          // envelope moved with count
+  candidate[0].metrics[2].max = 0.7;
+
+  DiffOptions adaptive;
+  adaptive.adaptive = true;
+  adaptive.stderr_scale = 1.0;
+  const DiffReport report = diff_campaign_rows(baseline, candidate, adaptive);
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("trials baseline 2"), std::string::npos)
+      << report.notes[0];
+  EXPECT_NE(report.notes[0].find("candidate 1 (converged"), std::string::npos)
+      << report.notes[0];
+
+  // A mean outside tolerance still fails, even in adaptive mode.
+  auto drifted = candidate;
+  drifted[0].metrics[2].mean = baseline[0].metrics[2].mean + 0.5;
+  EXPECT_FALSE(diff_campaign_rows(baseline, drifted, adaptive).clean());
+
+  // Exactly the same pair without --adaptive: trials, stopping reason and
+  // the moved summary parts all count.
+  const DiffReport exact = diff_campaign_rows(baseline, candidate);
+  EXPECT_FALSE(exact.clean());
+  EXPECT_GE(exact.divergences.size(), 3u);
+}
+
+TEST(CampaignDiff, NotesPrintBeforeCleanVerdict) {
+  const auto baseline = sample_campaign_rows();
+  auto candidate = baseline;
+  candidate[0].trials = 1;
+  DiffOptions adaptive;
+  adaptive.adaptive = true;
+  const DiffReport report = diff_campaign_rows(baseline, candidate, adaptive);
+  std::ostringstream os;
+  print_diff_report(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("note: "), std::string::npos) << text;
+  EXPECT_LT(text.find("note: "), text.find("identical")) << text;
+}
+
 }  // namespace
 }  // namespace sbgp::sim

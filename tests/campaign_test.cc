@@ -288,5 +288,210 @@ TEST(Campaign, BadRolloutStepFailsEveryCellOfItsTrialWhenIsolated) {
   EXPECT_TRUE(ok.failed_cells.empty());
 }
 
+TEST(Campaign, StoppingReasonStringsRoundTrip) {
+  for (const StoppingReason reason :
+       {StoppingReason::kFixed, StoppingReason::kConverged,
+        StoppingReason::kBudget}) {
+    EXPECT_EQ(parse_stopping_reason(to_string(reason)), reason);
+  }
+  EXPECT_THROW((void)parse_stopping_reason("nope"), std::invalid_argument);
+  EXPECT_THROW((void)parse_stopping_reason(""), std::invalid_argument);
+}
+
+TEST(Campaign, AdaptiveStopsEarlyAndRowsMatchFixedRun) {
+  // A loose target on the 8-trial budget: every spec converges before the
+  // budget runs out, and every row the adaptive run did compute is
+  // byte-identical to the fixed run's row for the same (trial, spec) —
+  // adaptivity decides which cells run, never what they contain.
+  CampaignSpec fixed = small_campaign(8);
+  CampaignSpec adaptive = fixed;
+  adaptive.target_stderr = 0.5;
+  adaptive.wave_size = 2;
+
+  const CampaignResult full = run_campaign(fixed);
+  const CampaignResult adapt = run_campaign(adaptive);
+  ASSERT_EQ(adapt.rows.size(), fixed.experiments.size());
+  for (const auto& row : adapt.rows) {
+    EXPECT_EQ(row.stopping, StoppingReason::kConverged) << row.label;
+    EXPECT_LT(row.trials, fixed.trials) << row.label;
+    EXPECT_GE(row.trials, 2u) << row.label;  // stderr needs n >= 2
+  }
+  for (const auto& row : full.rows) {
+    EXPECT_EQ(row.stopping, StoppingReason::kFixed);
+  }
+  ASSERT_LT(adapt.trial_rows.size(), full.trial_rows.size());
+  for (const auto& tr : adapt.trial_rows) {
+    const auto& ref =
+        full.trial_rows[tr.trial * fixed.experiments.size() + tr.spec_index];
+    EXPECT_EQ(tr, ref) << "trial " << tr.trial << " spec " << tr.spec_index;
+  }
+}
+
+TEST(Campaign, AdaptiveBudgetExhaustionReportsBudgetReason) {
+  // An unattainable target: every spec runs to the max_trials budget
+  // (which overrides `trials` as the schedule bound) and says so.
+  CampaignSpec campaign = small_campaign(2);
+  campaign.target_stderr = 1e-12;
+  campaign.wave_size = 1;
+  campaign.max_trials = 3;
+  const CampaignResult result = run_campaign(campaign);
+  ASSERT_EQ(result.rows.size(), campaign.experiments.size());
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.stopping, StoppingReason::kBudget) << row.label;
+    EXPECT_EQ(row.trials, 3u) << row.label;
+  }
+}
+
+TEST(Campaign, FixedWavePartitioningKeepsBytesIdentical) {
+  // wave_size on a fixed campaign only partitions the schedule; rows,
+  // aggregates and all four serializations must stay byte-identical to
+  // the single-wave run.
+  CampaignSpec campaign = small_campaign(3);
+  CampaignSpec waved = campaign;
+  waved.wave_size = 1;
+  const CampaignResult a = run_campaign(campaign);
+  const CampaignResult b = run_campaign(waved);
+  EXPECT_EQ(a.trial_rows, b.trial_rows);
+  EXPECT_EQ(a.rows, b.rows);
+  const auto serialize = [](const CampaignResult& r) {
+    std::ostringstream csv;
+    write_trial_rows_csv(csv, r.trial_rows);
+    std::ostringstream json;
+    write_trial_rows_json(json, r.trial_rows);
+    std::ostringstream agg_csv;
+    write_campaign_rows_csv(agg_csv, r.rows);
+    std::ostringstream agg_json;
+    write_campaign_rows_json(agg_json, r.rows);
+    return csv.str() + json.str() + agg_csv.str() + agg_json.str();
+  };
+  EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(Campaign, StreamingSinkMatchesEndOfRunRowsAtAnyWorkerCount) {
+  // The sink must see exactly the rows of result.trial_rows, in order,
+  // regardless of worker timing — and feeding them through the CSV
+  // appender must reproduce the end-of-run writer byte for byte.
+  const CampaignSpec campaign = small_campaign(2);
+  BatchExecutor executor(6);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{6}}) {
+    RunnerOptions opts;
+    opts.threads = threads;
+    opts.executor = &executor;
+    std::vector<CampaignTrialRow> streamed;
+    std::ostringstream streamed_csv;
+    TrialRowCsvAppender appender(streamed_csv);
+    const CampaignResult result =
+        run_campaign(campaign, opts, [&](const CampaignTrialRow& row) {
+          streamed.push_back(row);
+          appender.append(row);
+        });
+    EXPECT_EQ(streamed, result.trial_rows) << threads << " threads";
+    std::ostringstream whole;
+    write_trial_rows_csv(whole, result.trial_rows);
+    EXPECT_EQ(streamed_csv.str(), whole.str()) << threads << " threads";
+  }
+}
+
+TEST(Campaign, AdaptiveConfigValidation) {
+  CampaignSpec orphan_budget = small_campaign(2);
+  orphan_budget.max_trials = 5;  // without target_stderr
+  EXPECT_THROW((void)run_campaign(orphan_budget), std::invalid_argument);
+
+  CampaignSpec nan_target = small_campaign(2);
+  nan_target.target_stderr = std::nan("");
+  EXPECT_THROW((void)run_campaign(nan_target), std::invalid_argument);
+
+  CampaignSpec negative_target = small_campaign(2);
+  negative_target.target_stderr = -0.25;
+  EXPECT_THROW((void)run_campaign(negative_target), std::invalid_argument);
+
+  // Sharding cannot observe other shards' rows; merge-only makes no
+  // stopping decisions. Both throw before any cache I/O happens.
+  CampaignSpec sharded = small_campaign(2);
+  sharded.target_stderr = 0.5;
+  sharded.shard_count = 2;
+  sharded.cache_dir = "never-created";
+  EXPECT_THROW((void)run_campaign(sharded), std::invalid_argument);
+
+  CampaignSpec merge = small_campaign(2);
+  merge.target_stderr = 0.5;
+  merge.merge_only = true;
+  merge.cache_dir = "never-created";
+  EXPECT_THROW((void)run_campaign(merge), std::invalid_argument);
+}
+
+TEST(Campaign, AggregatedReadersAcceptLegacySchemas) {
+  // Three header generations are readable: no extra columns, then
+  // +failed_trials, then +stopping_reason. A fixed clean run writes
+  // failed_trials=0 and stopping_reason=fixed — exactly the defaults the
+  // readers fill in for the older schemas — so stripping those columns
+  // from current output must parse back to identical rows.
+  const CampaignResult result = run_campaign(small_campaign(2));
+  std::ostringstream csv;
+  write_campaign_rows_csv(csv, result.rows);
+
+  const auto strip_csv_column = [](const std::string& text, std::size_t col) {
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::vector<std::string> fields;
+      std::string field;
+      std::istringstream ls(line);
+      while (std::getline(ls, field, ',')) fields.push_back(field);
+      fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(col));
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        out << (i == 0 ? "" : ",") << fields[i];
+      }
+      out << '\n';
+    }
+    return out.str();
+  };
+  const std::string gen2 = strip_csv_column(csv.str(), 5);  // -stopping_reason
+  const std::string gen1 = strip_csv_column(gen2, 4);       // -failed_trials
+  std::istringstream gen2_in(gen2);
+  EXPECT_EQ(read_campaign_rows_csv(gen2_in), result.rows);
+  std::istringstream gen1_in(gen1);
+  EXPECT_EQ(read_campaign_rows_csv(gen1_in), result.rows);
+
+  std::ostringstream json;
+  write_campaign_rows_json(json, result.rows);
+  const auto strip_json_key = [](std::string text, const std::string& frag) {
+    for (std::size_t pos = text.find(frag); pos != std::string::npos;
+         pos = text.find(frag)) {
+      text.erase(pos, frag.size());
+    }
+    return text;
+  };
+  const std::string jgen2 =
+      strip_json_key(json.str(), ", \"stopping_reason\": \"fixed\"");
+  const std::string jgen1 = strip_json_key(jgen2, ", \"failed_trials\": 0");
+  std::istringstream jgen2_in(jgen2);
+  EXPECT_EQ(read_campaign_rows_json(jgen2_in), result.rows);
+  std::istringstream jgen1_in(jgen1);
+  EXPECT_EQ(read_campaign_rows_json(jgen1_in), result.rows);
+}
+
+TEST(Campaign, AdaptiveRowsSurviveSerializationRoundTrip) {
+  CampaignSpec campaign = small_campaign(8);
+  campaign.target_stderr = 0.5;
+  campaign.wave_size = 2;
+  const CampaignResult result = run_campaign(campaign);
+  ASSERT_FALSE(result.rows.empty());
+  ASSERT_EQ(result.rows.front().stopping, StoppingReason::kConverged);
+
+  std::ostringstream csv;
+  write_campaign_rows_csv(csv, result.rows);
+  EXPECT_NE(csv.str().find("stopping_reason"), std::string::npos);
+  EXPECT_NE(csv.str().find("converged"), std::string::npos);
+  std::istringstream csv_in(csv.str());
+  EXPECT_EQ(read_campaign_rows_csv(csv_in), result.rows);
+
+  std::ostringstream json;
+  write_campaign_rows_json(json, result.rows);
+  std::istringstream json_in(json.str());
+  EXPECT_EQ(read_campaign_rows_json(json_in), result.rows);
+}
+
 }  // namespace
 }  // namespace sbgp::sim

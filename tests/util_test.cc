@@ -236,6 +236,91 @@ TEST(Stats, AccumulatorDegenerateSamples) {
   EXPECT_DOUBLE_EQ(one.std_error(), 0.0);
 }
 
+TEST(Stats, AccumulatorMergeEmptyAndSingleton) {
+  // empty.merge(empty) stays empty.
+  Accumulator a;
+  a.merge(Accumulator{});
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+
+  // Merging into empty copies the other side exactly.
+  Accumulator b;
+  b.add(2.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(format_double(a.mean()), format_double(b.mean()));
+  EXPECT_EQ(format_double(a.variance()), format_double(b.variance()));
+
+  // Merging an empty accumulator is a no-op, bit for bit.
+  const Accumulator before = a;
+  a.merge(Accumulator{});
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_EQ(format_double(a.mean()), format_double(before.mean()));
+  EXPECT_EQ(format_double(a.variance()), format_double(before.variance()));
+}
+
+TEST(Stats, AccumulatorMergeSingletonsMatchSequentialExactly) {
+  // A chain of singleton merges must be bit-for-bit identical to add()s:
+  // this is the property the campaign layer relies on for thread-count
+  // independence of its aggregated rows.
+  const std::vector<double> v{0.25, 1.0 / 3.0, -7.5, 12345.678901234567, 0.25};
+  Accumulator sequential;
+  Accumulator merged;
+  for (const double x : v) {
+    sequential.add(x);
+    Accumulator single;
+    single.add(x);
+    merged.merge(single);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_EQ(format_double(merged.mean()), format_double(sequential.mean()));
+  EXPECT_EQ(format_double(merged.variance()),
+            format_double(sequential.variance()));
+  EXPECT_EQ(format_double(merged.std_error()),
+            format_double(sequential.std_error()));
+  EXPECT_EQ(format_double(merged.min()), format_double(sequential.min()));
+  EXPECT_EQ(format_double(merged.max()), format_double(sequential.max()));
+}
+
+TEST(Stats, AccumulatorMergeZeroVarianceSeries) {
+  Accumulator a;
+  Accumulator b;
+  for (int i = 0; i < 3; ++i) a.add(1.5);
+  for (int i = 0; i < 5; ++i) b.add(1.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.std_error(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+  EXPECT_DOUBLE_EQ(a.max(), 1.5);
+}
+
+TEST(Stats, AccumulatorMergeBlocksMatchesWholeSeries) {
+  // Chan's combine over contiguous blocks agrees with one sequential pass
+  // to far tighter than the stderr tolerances campaign_diff uses.
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(std::sin(0.37 * i) * 1e3 + 5.0);
+  Accumulator whole;
+  for (const double x : v) whole.add(x);
+  for (const std::size_t block : {1u, 3u, 16u, 64u}) {
+    Accumulator combined;
+    for (std::size_t start = 0; start < v.size(); start += block) {
+      Accumulator part;
+      for (std::size_t i = start; i < std::min(v.size(), start + block); ++i) {
+        part.add(v[i]);
+      }
+      combined.merge(part);
+    }
+    EXPECT_EQ(combined.count(), whole.count());
+    EXPECT_NEAR(combined.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(combined.variance(), whole.variance(), 1e-6);
+    EXPECT_EQ(format_double(combined.min()), format_double(whole.min()));
+    EXPECT_EQ(format_double(combined.max()), format_double(whole.max()));
+  }
+}
+
 TEST(Csv, FieldQuotingRoundTrips) {
   EXPECT_EQ(csv_field("plain"), "plain");
   EXPECT_EQ(csv_field("a,b"), "\"a,b\"");

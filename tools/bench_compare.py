@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_engine.json perf-trajectory files.
+
+    bench_compare.py <previous.json> <current.json> [--threshold PCT]
+
+Prints a per-benchmark table of items_per_second deltas and emits a
+GitHub Actions `::warning::` annotation for every benchmark whose rate
+dropped by more than the threshold (default 15%). Always exits 0: CI
+machines are noisy, so the trajectory is trend data for reviewers, not a
+hard gate — the annotation makes a regression visible on the run page
+without blocking the merge. Exits 0 (with a note) when the previous file
+is absent, which is every repository's first run.
+
+Stdlib only; the schema is the one bench_perf_engine.cc writes
+(schema 1: {"git_rev", "workers", "benchmarks": [{"name",
+"items_per_second", ...}]}).
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported schema {doc.get('schema')!r}")
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        rate = bench.get("items_per_second", 0.0)
+        if rate > 0.0:
+            rates[bench["name"]] = rate
+    return doc, rates
+
+
+def main(argv):
+    threshold = 15.0
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--threshold":
+            threshold = float(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    prev_path, cur_path = paths
+    if not os.path.exists(prev_path):
+        print(f"no previous trajectory at {prev_path}; nothing to compare "
+              "(first run)")
+        return 0
+    prev_doc, prev = load(prev_path)
+    cur_doc, cur = load(cur_path)
+    print(f"previous: {prev_doc.get('git_rev', '?')} "
+          f"({prev_doc.get('workers', '?')} workers), "
+          f"current: {cur_doc.get('git_rev', '?')} "
+          f"({cur_doc.get('workers', '?')} workers)")
+
+    width = max((len(n) for n in cur), default=4)
+    regressions = 0
+    for name in sorted(cur):
+        if name not in prev:
+            print(f"{name:<{width}}  {cur[name]:>14.1f} items/s  (new)")
+            continue
+        delta = 100.0 * (cur[name] - prev[name]) / prev[name]
+        print(f"{name:<{width}}  {cur[name]:>14.1f} items/s  "
+              f"{delta:+7.1f}% vs {prev[name]:.1f}")
+        if delta < -threshold:
+            regressions += 1
+            print(f"::warning title=perf regression::{name}: "
+                  f"{prev[name]:.1f} -> {cur[name]:.1f} items/s "
+                  f"({delta:+.1f}%, threshold -{threshold:g}%)")
+    for name in sorted(set(prev) - set(cur)):
+        print(f"{name:<{width}}  (dropped from current run)")
+
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed past {threshold:g}% "
+              "(warnings annotated; not a gate)")
+    else:
+        print("no regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

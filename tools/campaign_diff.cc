@@ -1,7 +1,8 @@
 // campaign_diff: compare two serialized campaign row sets — CI's
 // baseline regression gate.
 //
-//   campaign_diff [--abs-tol T] [--stderr-scale S] <baseline> <candidate>
+//   campaign_diff [--abs-tol T] [--stderr-scale S] [--adaptive]
+//                 <baseline> <candidate>
 //
 // Each file may hold per-trial rows or aggregated rows, as CSV or JSON
 // (sim/campaign_io.h formats); kind and format are detected from the
@@ -9,6 +10,12 @@
 // integer counters) are compared exactly, column by column; aggregated
 // rows are compared per metric within --abs-tol plus --stderr-scale times
 // the rows' combined standard error (both default 0: exact).
+//
+// --adaptive compares an adaptive (sequentially-stopped) run against a
+// fixed baseline: realized trial counts and stopping reasons are reported
+// as notes instead of divergences, only the metric means are gated, and a
+// per-trial file on either side is aggregated on the fly so a fixed
+// per-trial baseline can gate an adaptive aggregated candidate.
 //
 // Exit status: 0 when the sets match, 1 on any divergence (a per-metric
 // report goes to stdout), 2 on usage or I/O errors.
@@ -29,13 +36,16 @@ using sbgp::sim::CampaignRow;
 using sbgp::sim::CampaignTrialRow;
 
 void print_usage(std::ostream& os) {
-  os << "usage: campaign_diff [--abs-tol T] [--stderr-scale S]"
+  os << "usage: campaign_diff [--abs-tol T] [--stderr-scale S] [--adaptive]"
         " <baseline> <candidate>\n"
         "\n"
         "Compares two serialized campaign row sets (CSV or JSON, per-trial\n"
         "or aggregated — detected from the content; both files must hold\n"
         "the same kind). Per-trial rows are compared exactly; aggregated\n"
         "metric summaries within abs-tol + stderr-scale * combined stderr.\n"
+        "--adaptive gates an adaptive run against a fixed baseline: trial\n"
+        "counts and stopping reasons become notes, only metric means are\n"
+        "compared, and per-trial files are aggregated on the fly.\n"
         "Exits 0 on a match, 1 on divergence (per-metric report printed),\n"
         "2 on usage or I/O errors.\n";
 }
@@ -96,6 +106,10 @@ int run(int argc, char** argv) {
       print_usage(std::cout);
       return 0;
     }
+    if (arg == "--adaptive") {
+      opts.adaptive = true;
+      continue;
+    }
     if (arg == "--abs-tol" || arg == "--stderr-scale") {
       if (i + 1 >= argc) {
         std::cerr << "campaign_diff: " << arg << " needs a value\n";
@@ -126,8 +140,18 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  const RowSet baseline = load_rows(paths[0]);
-  const RowSet candidate = load_rows(paths[1]);
+  RowSet baseline = load_rows(paths[0]);
+  RowSet candidate = load_rows(paths[1]);
+  if (opts.adaptive) {
+    // Adaptive gating always compares aggregated summaries; promote a
+    // per-trial file (e.g. the committed fixed baseline) on the fly so
+    // the two sides need not have been serialized the same way.
+    for (RowSet* set : {&baseline, &candidate}) {
+      if (set->index() == 0) {
+        *set = sbgp::sim::aggregate_trial_rows(std::get<0>(*set));
+      }
+    }
+  }
   if (baseline.index() != candidate.index()) {
     std::cerr << "campaign_diff: '" << paths[0] << "' and '" << paths[1]
               << "' hold different row kinds (per-trial vs aggregated)\n";
