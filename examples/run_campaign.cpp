@@ -26,11 +26,20 @@
 // (with the stopping_reason column) for statistical gating with
 // campaign_diff --adaptive.
 //
+// With --topology-file NAME=PATH a CAIDA serial-2 AS-relationship file is
+// registered as a file-backed topology (topology/io.h): every trial runs
+// on the loaded graph (its content hash is the topology fingerprint) with
+// per-trial pair samples. --traffic applies a sim/traffic.h model spec
+// (e.g. 'gravity,seed=7') to every experiment; non-uniform models emit the
+// weighted per-trial schema (w_ columns).
+//
 //   ./example_run_campaign [topology] [trials] [samples] [csv] [json]
 //                          [--cache-dir DIR] [--expect-cached] [--strict]
 //                          [--shard I/N] [--merge-only] [--faults SPEC]
 //                          [--target-stderr X] [--max-trials N] [--wave N]
-//                          [--stream PATH] [--agg PATH] [--help]
+//                          [--stream PATH] [--agg PATH]
+//                          [--topology-file NAME=PATH] [--traffic SPEC]
+//                          [--help]
 //
 // Exit status: 0 clean, 1 round-trip or --expect-cached failure, 2 usage
 // or configuration error, 3 completed with failed or missing cells.
@@ -45,6 +54,7 @@
 #include "deployment/scenario.h"
 #include "sim/campaign.h"
 #include "sim/campaign_io.h"
+#include "sim/traffic.h"
 #include "topology/registry.h"
 #include "util/table.h"
 
@@ -59,7 +69,10 @@ void print_usage(std::ostream& os) {
         " [--faults SPEC]\n"
         "                            [--target-stderr X] [--max-trials N]"
         " [--wave N]\n"
-        "                            [--stream PATH] [--agg PATH] [--help]\n"
+        "                            [--stream PATH] [--agg PATH]\n"
+        "                            [--topology-file NAME=PATH]"
+        " [--traffic SPEC]\n"
+        "                            [--help]\n"
         "\n"
         "  topology   registered topology name (default small-2k)\n"
         "  trials     number of generated topologies (default 2)\n"
@@ -90,6 +103,16 @@ void print_usage(std::ostream& os) {
         "                    complete (byte-identical to the csv output)\n"
         "  --agg PATH        write aggregated rows (stopping_reason column\n"
         "                    included) as CSV to PATH\n"
+        "  --topology-file NAME=PATH\n"
+        "                    register the CAIDA serial-2 AS-relationship\n"
+        "                    file at PATH as file-backed topology NAME\n"
+        "                    (usable as the topology argument; its content\n"
+        "                    hash is the topology fingerprint)\n"
+        "  --traffic SPEC    per-pair traffic model for every experiment:\n"
+        "                    'uniform', 'uniform,scale=N' or\n"
+        "                    'gravity[,seed=S][,max-mass=M][,scale=K]';\n"
+        "                    non-uniform models add the weighted (w_)\n"
+        "                    columns to the per-trial outputs\n"
         "\n"
         "exit status: 0 clean, 1 round-trip/--expect-cached failure,\n"
         "             2 usage error, 3 failed or missing cells\n"
@@ -114,6 +137,7 @@ int run(int argc, char** argv) {
   bool expect_cached = false;
   std::string stream_path;
   std::string agg_path;
+  sim::TrafficModel traffic;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,7 +159,8 @@ int run(int argc, char** argv) {
     }
     if (arg == "--cache-dir" || arg == "--faults" || arg == "--shard" ||
         arg == "--target-stderr" || arg == "--max-trials" || arg == "--wave" ||
-        arg == "--stream" || arg == "--agg") {
+        arg == "--stream" || arg == "--agg" || arg == "--topology-file" ||
+        arg == "--traffic") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs an argument\n\n";
         print_usage(std::cerr);
@@ -150,6 +175,20 @@ int run(int argc, char** argv) {
         stream_path = value;
       } else if (arg == "--agg") {
         agg_path = value;
+      } else if (arg == "--topology-file") {
+        const std::size_t eq = value.find('=');
+        if (eq == 0 || eq == std::string::npos || eq + 1 == value.size()) {
+          std::cerr << "error: --topology-file wants NAME=PATH, got '" << value
+                    << "'\n\n";
+          print_usage(std::cerr);
+          return 2;
+        }
+        // Registration parses and validates the file right here, so a bad
+        // path or malformed row fails as a usage error before any work.
+        topology::register_topology_file(value.substr(0, eq),
+                                         value.substr(eq + 1));
+      } else if (arg == "--traffic") {
+        traffic = sim::parse_traffic_model(value);
       } else if (arg == "--target-stderr") {
         char* end = nullptr;
         errno = 0;
@@ -236,7 +275,8 @@ int run(int argc, char** argv) {
   }
   const std::string csv_path = positional.size() > 3 ? positional[3] : "";
   const std::string json_path = positional.size() > 4 ? positional[4] : "";
-  if (topology::find_topology(campaign.topology) == nullptr) {
+  if (topology::find_topology(campaign.topology) == nullptr &&
+      topology::find_topology_file(campaign.topology) == nullptr) {
     std::cerr << "error: unknown topology '" << campaign.topology << "'\n\n";
     print_usage(std::cerr);
     return 2;
@@ -267,6 +307,7 @@ int run(int argc, char** argv) {
     spec.analyses = analyses;
     spec.num_attackers = samples;
     spec.num_destinations = samples;
+    spec.traffic = traffic;
     return spec;
   };
   campaign.experiments.push_back(
@@ -284,6 +325,11 @@ int run(int argc, char** argv) {
   // When streaming, per-trial rows go through the appender as each cell's
   // last unit finishes; the file is verified against the end-of-run rows
   // below, so the byte-identity promise is checked on every invocation.
+  // The stream appender must commit to a schema generation before the
+  // first row exists, so every per-trial writer below is pinned to the
+  // same explicit flag — a non-uniform traffic model emits the weighted
+  // layout everywhere, and the byte-identity checks still hold.
+  const bool weighted = !traffic.is_trivial();
   std::ofstream stream_out;
   std::optional<sim::TrialRowCsvAppender> stream_appender;
   sim::RowSink sink;
@@ -294,7 +340,7 @@ int run(int argc, char** argv) {
                 << "'\n";
       return 2;
     }
-    stream_appender.emplace(stream_out);
+    stream_appender.emplace(stream_out, weighted);
     sink = [&](const sim::CampaignTrialRow& r) { stream_appender->append(r); };
   }
 
@@ -350,7 +396,7 @@ int run(int argc, char** argv) {
   // what a resumed or merge-only run builds on.
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
-    sim::write_trial_rows_csv(out, result.trial_rows);
+    sim::write_trial_rows_csv(out, result.trial_rows, weighted);
     out.close();
     std::ifstream in(csv_path);
     if (sim::read_trial_rows_csv(in) != result.trial_rows) {
@@ -362,7 +408,7 @@ int run(int argc, char** argv) {
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    sim::write_trial_rows_json(out, result.trial_rows);
+    sim::write_trial_rows_json(out, result.trial_rows, weighted);
     out.close();
     std::ifstream in(json_path);
     if (sim::read_trial_rows_json(in) != result.trial_rows) {

@@ -10,6 +10,7 @@
 #define SBGP_SECURITY_COLLATERAL_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "routing/engine.h"
 #include "routing/model.h"
@@ -42,6 +43,15 @@ struct CollateralStats {
     damages += o.damages;
     benefits_upper += o.benefits_upper;
     damages_upper += o.damages_upper;
+    return *this;
+  }
+  /// Adds `w` copies of `o` — traffic-weighted accumulation (sim/traffic.h).
+  CollateralStats& add_scaled(const CollateralStats& o, std::uint64_t w) {
+    insecure_sources += o.insecure_sources * w;
+    benefits += o.benefits * w;
+    damages += o.damages * w;
+    benefits_upper += o.benefits_upper * w;
+    damages_upper += o.damages_upper * w;
     return *this;
   }
   [[nodiscard]] bool operator==(const CollateralStats&) const = default;

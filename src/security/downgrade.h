@@ -10,6 +10,7 @@
 #define SBGP_SECURITY_DOWNGRADE_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "routing/engine.h"
 #include "routing/model.h"
@@ -38,6 +39,15 @@ struct DowngradeStats {
     downgraded += o.downgraded;
     secure_kept += o.secure_kept;
     kept_and_immune += o.kept_and_immune;
+    return *this;
+  }
+  /// Adds `w` copies of `o` — traffic-weighted accumulation (sim/traffic.h).
+  DowngradeStats& add_scaled(const DowngradeStats& o, std::uint64_t w) {
+    sources += o.sources * w;
+    secure_normal += o.secure_normal * w;
+    downgraded += o.downgraded * w;
+    secure_kept += o.secure_kept * w;
+    kept_and_immune += o.kept_and_immune * w;
     return *this;
   }
   [[nodiscard]] bool operator==(const DowngradeStats&) const = default;

@@ -10,6 +10,7 @@
 #define SBGP_SECURITY_HAPPINESS_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "routing/engine.h"
 #include "routing/model.h"
@@ -57,6 +58,15 @@ struct HappyTotals {
     happy_lower += o.happy_lower;
     happy_upper += o.happy_upper;
     sources += o.sources;
+    return *this;
+  }
+  /// Adds `w` copies of `o` — the traffic-weighted accumulation
+  /// (sim/traffic.h): with w the pair's weight, ratios of weighted totals
+  /// are traffic-weighted means instead of pair-count means.
+  HappyTotals& add_scaled(const HappyTotals& o, std::uint64_t w) {
+    happy_lower += o.happy_lower * w;
+    happy_upper += o.happy_upper * w;
+    sources += o.sources * w;
     return *this;
   }
   [[nodiscard]] bool operator==(const HappyTotals&) const = default;

@@ -98,6 +98,14 @@ struct PartitionCounts {
     sources += o.sources;
     return *this;
   }
+  /// Adds `w` copies of `o` — traffic-weighted accumulation (sim/traffic.h).
+  PartitionCounts& add_scaled(const PartitionCounts& o, std::uint64_t w) {
+    doomed += o.doomed * w;
+    protectable += o.protectable * w;
+    immune += o.immune * w;
+    sources += o.sources * w;
+    return *this;
+  }
   [[nodiscard]] bool operator==(const PartitionCounts&) const = default;
 
   [[nodiscard]] PartitionShares shares() const {

@@ -14,6 +14,7 @@
 #define SBGP_SECURITY_ROOTCAUSE_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "routing/engine.h"
 #include "routing/model.h"
@@ -48,6 +49,19 @@ struct RootCauseStats {
     collateral_damages += o.collateral_damages;
     happy_baseline += o.happy_baseline;
     happy_deployed += o.happy_deployed;
+    return *this;
+  }
+  /// Adds `w` copies of `o` — traffic-weighted accumulation (sim/traffic.h).
+  RootCauseStats& add_scaled(const RootCauseStats& o, std::uint64_t w) {
+    sources += o.sources * w;
+    secure_normal += o.secure_normal * w;
+    downgraded += o.downgraded * w;
+    secure_wasted += o.secure_wasted * w;
+    secure_protecting += o.secure_protecting * w;
+    collateral_benefits += o.collateral_benefits * w;
+    collateral_damages += o.collateral_damages * w;
+    happy_baseline += o.happy_baseline * w;
+    happy_deployed += o.happy_deployed * w;
     return *this;
   }
   [[nodiscard]] bool operator==(const RootCauseStats&) const = default;

@@ -81,6 +81,21 @@ std::array<double, kNumCampaignMetrics> campaign_metrics(
   };
 }
 
+std::array<double, kNumCampaignMetrics> campaign_weighted_metrics(
+    const PairStats& stats) {
+  return {
+      ratio(stats.w_happiness.happy_lower, stats.w_happiness.sources),
+      ratio(stats.w_happiness.happy_upper, stats.w_happiness.sources),
+      ratio(stats.w_partitions.doomed, stats.w_partitions.sources),
+      ratio(stats.w_partitions.protectable, stats.w_partitions.sources),
+      ratio(stats.w_partitions.immune, stats.w_partitions.sources),
+      ratio(stats.w_downgrades.downgraded, stats.w_downgrades.sources),
+      ratio(stats.w_collateral.benefits, stats.w_collateral.insecure_sources),
+      ratio(stats.w_collateral.damages, stats.w_collateral.insecure_sources),
+      stats.w_root_causes.metric_change(),
+  };
+}
+
 std::string_view to_string(StoppingReason reason) {
   switch (reason) {
     case StoppingReason::kFixed: return "fixed";
@@ -122,6 +137,7 @@ std::vector<CampaignRow> aggregate_trial_rows(
   struct Agg {
     CampaignRow row;  // metrics filled at the end
     std::array<util::Accumulator, kNumCampaignMetrics> acc;
+    std::array<util::Accumulator, kNumCampaignMetrics> w_acc;
   };
   std::map<std::size_t, Agg> by_spec;
   for (const auto& tr : trial_rows) {
@@ -132,8 +148,10 @@ std::vector<CampaignRow> aggregate_trial_rows(
       it->second.row.spec_index = tr.spec_index;
     }
     const auto values = campaign_metrics(tr.row.stats);
+    const auto w_values = campaign_weighted_metrics(tr.row.stats);
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
       it->second.acc[m].add(values[m]);
+      it->second.w_acc[m].add(w_values[m]);
     }
   }
   std::vector<CampaignRow> rows;
@@ -143,6 +161,9 @@ std::vector<CampaignRow> aggregate_trial_rows(
     for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
       agg.row.metrics[m] = {agg.acc[m].mean(), agg.acc[m].std_error(),
                             agg.acc[m].min(), agg.acc[m].max()};
+      agg.row.weighted_metrics[m] = {
+          agg.w_acc[m].mean(), agg.w_acc[m].std_error(), agg.w_acc[m].min(),
+          agg.w_acc[m].max()};
     }
     rows.push_back(std::move(agg.row));
   }
@@ -153,8 +174,9 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
                             const RunnerOptions& opts, const RowSink& sink) {
   // Validate everything name-shaped before spawning any work, so a typo'd
   // campaign fails fast with the registry contents in the message —
-  // configuration errors are never "failed cells".
-  (void)topology::topology_params(campaign.topology);
+  // configuration errors are never "failed cells". topology_fingerprint
+  // resolves generated and file-backed registry entries alike.
+  (void)topology::topology_fingerprint(campaign.topology);
   if (campaign.trials == 0) {
     throw std::invalid_argument("run_campaign: trials must be >= 1");
   }
@@ -172,6 +194,7 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
       throw std::invalid_argument("run_campaign: spec '" + spec.label +
                                   "' selects no analyses");
     }
+    validate_traffic_model(spec.traffic);
     if (deployment::find_scenario(spec.scenario) == nullptr) {
       throw std::invalid_argument(
           "run_campaign: unknown scenario '" + spec.scenario +
@@ -240,8 +263,8 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
   std::vector<CacheKey> keys(num_cells);
   std::vector<std::uint64_t> cell_fps(num_cells);
   {
-    const std::uint64_t topo_fp = topology::spec_fingerprint(
-        topology::topology_params(campaign.topology));
+    const std::uint64_t topo_fp =
+        topology::topology_fingerprint(campaign.topology);
     std::vector<std::uint64_t> spec_fps(num_specs);
     for (std::size_t s = 0; s < num_specs; ++s) {
       spec_fps[s] = spec_fingerprint(campaign.experiments[s]);
@@ -521,8 +544,8 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
           st.topo = topology::generate_trial(campaign.topology, campaign.seed,
                                              trial);
           st.tiers = st.topo.classify();
-          st.resolver = std::make_unique<ExperimentResolver>(st.topo.graph,
-                                                             st.tiers);
+          st.resolver = std::make_unique<ExperimentResolver>(
+              st.topo.graph, st.tiers, st.topo.sample_salt);
           // Resolve only the specs this trial still runs: cached cells
           // never read their ResolvedExperiment slot, so a placeholder
           // suffices and a partially-warm trial skips the dead
@@ -586,9 +609,11 @@ CampaignResult run_campaign(const CampaignSpec& campaign,
         const std::size_t d = slot / grid_rows;
         if (a < re.attackers.size() && d < re.destinations.size() &&
             re.attackers[a] != re.destinations[d]) {
+          const std::uint64_t w =
+              pair_weight(re.traffic, re.attackers[a], re.destinations[d]);
           accumulate_pair_into(st.topo.graph, re.destinations[d],
                                re.attackers[a], re.cfg, *re.deployment,
-                               exec.workspace(worker), cell_tokens[k],
+                               exec.workspace(worker), cell_tokens[k], w,
                                accs[worker][k]);
         }
         finish_unit(k);

@@ -180,6 +180,13 @@ campaign_metric_names();
 [[nodiscard]] std::array<double, kNumCampaignMetrics> campaign_metrics(
     const PairStats& stats);
 
+/// Traffic-weighted counterparts: the same 9 ratios computed over the w_*
+/// mirrors of PairStats. Under a uniform traffic model every ratio is the
+/// identical double to its unweighted counterpart (the scale cancels
+/// exactly — both operands stay below 2^53).
+[[nodiscard]] std::array<double, kNumCampaignMetrics>
+campaign_weighted_metrics(const PairStats& stats);
+
 /// Index of a named metric in campaign_metric_names() order; throws
 /// std::invalid_argument (listing the names) for unknown names.
 [[nodiscard]] std::size_t campaign_metric_index(std::string_view name);
@@ -201,6 +208,11 @@ struct CampaignRow {
   /// needed, not how many were budgeted.
   StoppingReason stopping = StoppingReason::kFixed;
   std::array<MetricSummary, kNumCampaignMetrics> metrics;
+  /// Traffic-weighted summaries (campaign_weighted_metrics across trials).
+  /// Equal to `metrics` — value for value — whenever every experiment ran
+  /// a uniform traffic model, including everything read back from files
+  /// written before the weighted columns existed.
+  std::array<MetricSummary, kNumCampaignMetrics> weighted_metrics;
 
   [[nodiscard]] bool operator==(const CampaignRow&) const = default;
 };

@@ -105,26 +105,38 @@ DiffReport diff_campaign_rows(const std::vector<CampaignRow>& baseline,
                                       std::string(to_string(b.stopping))});
       }
     }
-    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
-      const auto va = summary_values(a.metrics[m]);
-      const auto vb = summary_values(b.metrics[m]);
-      // The stderr-aware slack uses both rows' standard errors, so the
-      // gate is symmetric in baseline and candidate.
-      const double combined_se =
-          a.metrics[m].std_error + b.metrics[m].std_error;
-      const double tol = opts.abs_tol + opts.stderr_scale * combined_se;
-      // Adaptive mode compares only the means: stderr, min and max move
-      // with the realized trial count by construction.
-      const std::size_t parts = opts.adaptive ? 1 : kSummaryParts.size();
-      for (std::size_t p = 0; p < parts; ++p) {
-        // Written so a NaN on either side fails the comparison.
-        if (!(std::fabs(va[p] - vb[p]) <= tol)) {
-          report.divergences.push_back(
-              {id, std::string(names[m]) + '_' + std::string(kSummaryParts[p]),
-               util::format_double(va[p]), util::format_double(vb[p])});
-        }
-      }
-    }
+    // Both metric sets are gated the same way; the weighted columns carry
+    // a "w_" prefix in the report. Uniform-weight runs keep the weighted
+    // set exactly equal to the unweighted one (division exactness), so
+    // comparing both never flags a legacy baseline twice spuriously.
+    const auto gate_metrics =
+        [&](const std::array<MetricSummary, kNumCampaignMetrics>& ma,
+            const std::array<MetricSummary, kNumCampaignMetrics>& mb,
+            std::string_view prefix) {
+          for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+            const auto va = summary_values(ma[m]);
+            const auto vb = summary_values(mb[m]);
+            // The stderr-aware slack uses both rows' standard errors, so
+            // the gate is symmetric in baseline and candidate.
+            const double combined_se = ma[m].std_error + mb[m].std_error;
+            const double tol = opts.abs_tol + opts.stderr_scale * combined_se;
+            // Adaptive mode compares only the means: stderr, min and max
+            // move with the realized trial count by construction.
+            const std::size_t parts = opts.adaptive ? 1 : kSummaryParts.size();
+            for (std::size_t p = 0; p < parts; ++p) {
+              // Written so a NaN on either side fails the comparison.
+              if (!(std::fabs(va[p] - vb[p]) <= tol)) {
+                report.divergences.push_back(
+                    {id,
+                     std::string(prefix) + std::string(names[m]) + '_' +
+                         std::string(kSummaryParts[p]),
+                     util::format_double(va[p]), util::format_double(vb[p])});
+              }
+            }
+          }
+        };
+    gate_metrics(a.metrics, b.metrics, "");
+    gate_metrics(a.weighted_metrics, b.weighted_metrics, "w_");
   }
   return report;
 }

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <cstdio>
+#include <tuple>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -65,6 +66,14 @@ constexpr std::array<std::string_view, 31> kCounterNames = {
     "rc_happy_deployed",
 };
 
+/// Counters of kCounterNames that have a traffic-weighted mirror: the
+/// analysis counters (everything past the four population columns). The
+/// weighted schema appends "weight" (the weighted `pairs`) plus one
+/// "w_"-prefixed column per mirrored counter.
+constexpr std::size_t kFirstMirroredCounter = 5;
+constexpr std::size_t kNumWeightedCounters =
+    1 + (kCounterNames.size() - kFirstMirroredCounter);
+
 /// Pointers to the row's counters in kCounterNames order; `Row` is
 /// CampaignTrialRow or const CampaignTrialRow, so writers and readers
 /// share one schema definition.
@@ -105,6 +114,87 @@ auto counter_slots(Row& r) {
       &s.root_causes.happy_baseline,
       &s.root_causes.happy_deployed,
   };
+}
+
+/// Pointers to the weighted mirrors, aligned with the weighted column
+/// block: "weight" first, then the w_ mirror of kCounterNames[i] for
+/// every i >= kFirstMirroredCounter.
+template <typename Row>
+auto weighted_counter_slots(Row& r) {
+  auto& s = r.row.stats;
+  return std::array{
+      &s.weight,
+      &s.w_happiness.happy_lower,
+      &s.w_happiness.happy_upper,
+      &s.w_happiness.sources,
+      &s.w_partitions.doomed,
+      &s.w_partitions.protectable,
+      &s.w_partitions.immune,
+      &s.w_partitions.sources,
+      &s.w_downgrades.sources,
+      &s.w_downgrades.secure_normal,
+      &s.w_downgrades.downgraded,
+      &s.w_downgrades.secure_kept,
+      &s.w_downgrades.kept_and_immune,
+      &s.w_collateral.insecure_sources,
+      &s.w_collateral.benefits,
+      &s.w_collateral.damages,
+      &s.w_collateral.benefits_upper,
+      &s.w_collateral.damages_upper,
+      &s.w_root_causes.sources,
+      &s.w_root_causes.secure_normal,
+      &s.w_root_causes.downgraded,
+      &s.w_root_causes.secure_wasted,
+      &s.w_root_causes.secure_protecting,
+      &s.w_root_causes.collateral_benefits,
+      &s.w_root_causes.collateral_damages,
+      &s.w_root_causes.happy_baseline,
+      &s.w_root_causes.happy_deployed,
+  };
+}
+static_assert(std::tuple_size_v<decltype(weighted_counter_slots(
+                  std::declval<CampaignTrialRow&>()))> == kNumWeightedCounters);
+
+/// Names of the weighted column block, aligned with weighted_counter_slots.
+std::vector<std::string> weighted_column_names() {
+  std::vector<std::string> names;
+  names.reserve(kNumWeightedCounters);
+  names.emplace_back("weight");
+  for (std::size_t i = kFirstMirroredCounter; i < kCounterNames.size(); ++i) {
+    names.push_back("w_" + std::string(kCounterNames[i]));
+  }
+  return names;
+}
+
+/// Legacy (pre-weighted) column list: identities + unweighted counters.
+const std::vector<std::string>& legacy_trial_row_columns() {
+  static const std::vector<std::string> columns = [] {
+    std::vector<std::string> names;
+    names.reserve(kIdNames.size() + kCounterNames.size());
+    for (const auto name : kIdNames) names.emplace_back(name);
+    for (const auto name : kCounterNames) names.emplace_back(name);
+    return names;
+  }();
+  return columns;
+}
+
+/// A legacy row (no weighted columns on disk) means a uniform-weight run:
+/// make the in-memory mirrors say so explicitly.
+void reconstruct_uniform_weights(CampaignTrialRow& r) {
+  auto& s = r.row.stats;
+  s.weight = s.pairs;
+  s.w_happiness = s.happiness;
+  s.w_partitions = s.partitions;
+  s.w_downgrades = s.downgrades;
+  s.w_collateral = s.collateral;
+  s.w_root_causes = s.root_causes;
+}
+
+bool all_uniform_weight(const std::vector<CampaignTrialRow>& rows) {
+  for (const auto& r : rows) {
+    if (!is_uniform_weight(r)) return false;
+  }
+  return true;
 }
 
 routing::SecurityModel parse_model(std::string_view s) {
@@ -383,10 +473,8 @@ std::string read_line(std::istream& is, bool& ok) {
 
 const std::vector<std::string>& trial_row_columns() {
   static const std::vector<std::string> columns = [] {
-    std::vector<std::string> names;
-    names.reserve(kIdNames.size() + kCounterNames.size());
-    for (const auto name : kIdNames) names.emplace_back(name);
-    for (const auto name : kCounterNames) names.emplace_back(name);
+    std::vector<std::string> names = legacy_trial_row_columns();
+    for (auto& name : weighted_column_names()) names.push_back(name);
     return names;
   }();
   return columns;
@@ -406,21 +494,48 @@ std::vector<std::string> trial_row_values(const CampaignTrialRow& r) {
   for (const auto* slot : counter_slots(r)) {
     fields.push_back(std::to_string(*slot));
   }
+  for (const auto* slot : weighted_counter_slots(r)) {
+    fields.push_back(std::to_string(*slot));
+  }
   return fields;
 }
 
-TrialRowCsvAppender::TrialRowCsvAppender(std::ostream& os) : os_(&os) {
-  *os_ << csv_line(trial_row_columns()) << '\n';
+bool is_uniform_weight(const CampaignTrialRow& r) {
+  const auto& s = r.row.stats;
+  return s.weight == s.pairs && s.w_happiness == s.happiness &&
+         s.w_partitions == s.partitions && s.w_downgrades == s.downgrades &&
+         s.w_collateral == s.collateral && s.w_root_causes == s.root_causes;
+}
+
+TrialRowCsvAppender::TrialRowCsvAppender(std::ostream& os, bool weighted)
+    : os_(&os), weighted_(weighted) {
+  *os_ << csv_line(weighted ? trial_row_columns() : legacy_trial_row_columns())
+       << '\n';
 }
 
 void TrialRowCsvAppender::append(const CampaignTrialRow& row) {
-  *os_ << csv_line(trial_row_values(row)) << '\n';
+  std::vector<std::string> fields = trial_row_values(row);
+  if (!weighted_) {
+    if (!is_uniform_weight(row)) {
+      throw std::logic_error(
+          "TrialRowCsvAppender: non-uniform-weight row appended to a "
+          "legacy-layout file; construct the appender with weighted = true");
+    }
+    fields.resize(legacy_trial_row_columns().size());
+  }
+  *os_ << csv_line(fields) << '\n';
+}
+
+void write_trial_rows_csv(std::ostream& os,
+                          const std::vector<CampaignTrialRow>& rows,
+                          bool weighted) {
+  TrialRowCsvAppender appender(os, weighted);
+  for (const auto& r : rows) appender.append(r);
 }
 
 void write_trial_rows_csv(std::ostream& os,
                           const std::vector<CampaignTrialRow>& rows) {
-  TrialRowCsvAppender appender(os);
-  for (const auto& r : rows) appender.append(r);
+  write_trial_rows_csv(os, rows, !all_uniform_weight(rows));
 }
 
 std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
@@ -429,8 +544,11 @@ std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
   if (!ok) {
     throw std::invalid_argument("read_trial_rows_csv: empty input");
   }
-  const std::vector<std::string>& expected = trial_row_columns();
-  if (split_csv_line(header) != expected) {
+  const auto header_fields = split_csv_line(header);
+  bool weighted = true;
+  if (header_fields == legacy_trial_row_columns()) {
+    weighted = false;
+  } else if (header_fields != trial_row_columns()) {
     throw std::invalid_argument("read_trial_rows_csv: header mismatch");
   }
   std::vector<CampaignTrialRow> rows;
@@ -439,7 +557,7 @@ std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
     if (!ok) break;
     if (line.empty()) continue;
     const auto fields = split_csv_line(line);
-    if (fields.size() != expected.size()) {
+    if (fields.size() != header_fields.size()) {
       throw std::invalid_argument("read_trial_rows_csv: bad row arity");
     }
     CampaignTrialRow r;
@@ -456,16 +574,31 @@ std::vector<CampaignTrialRow> read_trial_rows_csv(std::istream& is) {
       *slots[i] =
           static_cast<std::size_t>(parse_u64(fields[kIdNames.size() + i]));
     }
+    if (weighted) {
+      const auto w_slots = weighted_counter_slots(r);
+      const std::size_t base = kIdNames.size() + slots.size();
+      for (std::size_t i = 0; i < w_slots.size(); ++i) {
+        *w_slots[i] = static_cast<std::size_t>(parse_u64(fields[base + i]));
+      }
+    } else {
+      reconstruct_uniform_weights(r);
+    }
     rows.push_back(std::move(r));
   }
   return rows;
 }
 
-TrialRowJsonAppender::TrialRowJsonAppender(std::ostream& os) : os_(&os) {
+TrialRowJsonAppender::TrialRowJsonAppender(std::ostream& os, bool weighted)
+    : os_(&os), weighted_(weighted) {
   *os_ << "[\n";
 }
 
 void TrialRowJsonAppender::append(const CampaignTrialRow& r) {
+  if (!weighted_ && !is_uniform_weight(r)) {
+    throw std::logic_error(
+        "TrialRowJsonAppender: non-uniform-weight row appended to a "
+        "legacy-layout file; construct the appender with weighted = true");
+  }
   // The previous element is held back until now, when a comma is known to
   // follow it — the writer's exact no-trailing-comma byte layout, built
   // incrementally.
@@ -483,6 +616,13 @@ void TrialRowJsonAppender::append(const CampaignTrialRow& r) {
   for (std::size_t c = 0; c < slots.size(); ++c) {
     element << ", \"" << kCounterNames[c] << "\": " << *slots[c];
   }
+  if (weighted_) {
+    const auto w_slots = weighted_counter_slots(r);
+    const auto w_names = weighted_column_names();
+    for (std::size_t c = 0; c < w_slots.size(); ++c) {
+      element << ", \"" << w_names[c] << "\": " << *w_slots[c];
+    }
+  }
   element << '}';
   pending_ = element.str();
   any_ = true;
@@ -498,10 +638,16 @@ void TrialRowJsonAppender::finish() {
 }
 
 void write_trial_rows_json(std::ostream& os,
-                           const std::vector<CampaignTrialRow>& rows) {
-  TrialRowJsonAppender appender(os);
+                           const std::vector<CampaignTrialRow>& rows,
+                           bool weighted) {
+  TrialRowJsonAppender appender(os, weighted);
   for (const auto& r : rows) appender.append(r);
   appender.finish();
+}
+
+void write_trial_rows_json(std::ostream& os,
+                           const std::vector<CampaignTrialRow>& rows) {
+  write_trial_rows_json(os, rows, !all_uniform_weight(rows));
 }
 
 std::vector<CampaignTrialRow> read_trial_rows_json(std::istream& is) {
@@ -522,6 +668,17 @@ std::vector<CampaignTrialRow> read_trial_rows_json(std::istream& is) {
     for (std::size_t c = 0; c < slots.size(); ++c) {
       *slots[c] = static_cast<std::size_t>(obj.as_u64(kCounterNames[c]));
     }
+    // The weighted keys are present iff the file was written in weighted
+    // mode; their absence means a uniform-weight run.
+    if (obj.find("weight") != nullptr) {
+      const auto w_slots = weighted_counter_slots(r);
+      const auto w_names = weighted_column_names();
+      for (std::size_t c = 0; c < w_slots.size(); ++c) {
+        *w_slots[c] = static_cast<std::size_t>(obj.as_u64(w_names[c]));
+      }
+    } else {
+      reconstruct_uniform_weights(r);
+    }
     rows.push_back(std::move(r));
   }
   return rows;
@@ -539,6 +696,11 @@ void write_campaign_rows_csv(std::ostream& os,
       fields.push_back(std::string(metric) + '_' + std::string(part));
     }
   }
+  for (const auto metric : campaign_metric_names()) {
+    for (const auto part : kSummaryParts) {
+      fields.push_back("w_" + std::string(metric) + '_' + std::string(part));
+    }
+  }
   os << csv_line(fields) << '\n';
   for (const auto& r : rows) {
     fields.clear();
@@ -553,6 +715,11 @@ void write_campaign_rows_csv(std::ostream& os,
         fields.push_back(format_double(v));
       }
     }
+    for (const auto& m : r.weighted_metrics) {
+      for (const double v : summary_values(m)) {
+        fields.push_back(format_double(v));
+      }
+    }
     os << csv_line(fields) << '\n';
   }
 }
@@ -563,33 +730,46 @@ std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
   if (!ok) {
     throw std::invalid_argument("read_campaign_rows_csv: empty input");
   }
-  // Accept all three header generations — neither extra column, just
-  // failed_trials, and failed_trials + stopping_reason — so baselines
-  // written before either column existed keep parsing. Absent columns
-  // mean failed_trials == 0 and StoppingReason::kFixed, which is exactly
-  // what those older (clean, fixed-trial-count) files recorded.
+  // Accept all four header generations — bare, + failed_trials,
+  // + stopping_reason, + the weighted metric columns — so baselines
+  // written before each column existed keep parsing. Absent columns mean
+  // failed_trials == 0, StoppingReason::kFixed and weighted_metrics ==
+  // metrics, which is exactly what those older (clean, fixed-trial-count,
+  // uniform-weight) files recorded.
   std::vector<std::string> metric_columns;
+  std::vector<std::string> weighted_metric_columns;
   for (const auto metric : campaign_metric_names()) {
     for (const auto part : kSummaryParts) {
       metric_columns.push_back(std::string(metric) + '_' + std::string(part));
+      weighted_metric_columns.push_back("w_" + std::string(metric) + '_' +
+                                        std::string(part));
     }
   }
-  const auto make_header = [&](bool failed, bool stopping) {
+  const auto make_header = [&](bool failed, bool stopping, bool weighted) {
     std::vector<std::string> h = {"label", "topology", "spec", "trials"};
     if (failed) h.emplace_back("failed_trials");
     if (stopping) h.emplace_back("stopping_reason");
     h.insert(h.end(), metric_columns.begin(), metric_columns.end());
+    if (weighted) {
+      h.insert(h.end(), weighted_metric_columns.begin(),
+               weighted_metric_columns.end());
+    }
     return h;
   };
   const auto header_fields = split_csv_line(header);
   bool has_failed_trials = true;
   bool has_stopping = true;
-  if (header_fields == make_header(false, false)) {
+  bool has_weighted = true;
+  if (header_fields == make_header(false, false, false)) {
     has_failed_trials = false;
     has_stopping = false;
-  } else if (header_fields == make_header(true, false)) {
+    has_weighted = false;
+  } else if (header_fields == make_header(true, false, false)) {
     has_stopping = false;
-  } else if (header_fields != make_header(true, true)) {
+    has_weighted = false;
+  } else if (header_fields == make_header(true, true, false)) {
+    has_weighted = false;
+  } else if (header_fields != make_header(true, true, true)) {
     throw std::invalid_argument("read_campaign_rows_csv: header mismatch");
   }
   const std::size_t arity = header_fields.size();
@@ -619,6 +799,15 @@ std::vector<CampaignRow> read_campaign_rows_csv(std::istream& is) {
       for (double& x : v) x = parse_double(fields[f++]);
       m = summary_from(v);
     }
+    if (has_weighted) {
+      for (auto& m : r.weighted_metrics) {
+        std::array<double, 4> v;
+        for (double& x : v) x = parse_double(fields[f++]);
+        m = summary_from(v);
+      }
+    } else {
+      r.weighted_metrics = r.metrics;
+    }
     rows.push_back(std::move(r));
   }
   return rows;
@@ -636,16 +825,23 @@ void write_campaign_rows_json(std::ostream& os,
        << ", \"stopping_reason\": " << json_escape(to_string(r.stopping))
        << ", \"metrics\": {";
     const auto& names = campaign_metric_names();
-    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
-      if (m != 0) os << ", ";
-      const auto values = summary_values(r.metrics[m]);
-      os << '"' << names[m] << "\": {";
-      for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
-        if (p != 0) os << ", ";
-        os << '"' << kSummaryParts[p] << "\": " << format_double(values[p]);
-      }
-      os << '}';
-    }
+    const auto emit_metrics =
+        [&](const std::array<MetricSummary, kNumCampaignMetrics>& metrics) {
+          for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+            if (m != 0) os << ", ";
+            const auto values = summary_values(metrics[m]);
+            os << '"' << names[m] << "\": {";
+            for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
+              if (p != 0) os << ", ";
+              os << '"' << kSummaryParts[p]
+                 << "\": " << format_double(values[p]);
+            }
+            os << '}';
+          }
+        };
+    emit_metrics(r.metrics);
+    os << "}, \"weighted_metrics\": {";
+    emit_metrics(r.weighted_metrics);
     os << "}}" << (i + 1 < rows.size() ? "," : "") << '\n';
   }
   os << "]\n";
@@ -669,15 +865,26 @@ std::vector<CampaignRow> read_campaign_rows_json(std::istream& is) {
     if (const JsonValue* reason = obj.find("stopping_reason")) {
       r.stopping = parse_stopping_reason(reason->text);
     }
-    const JsonValue& metrics = obj.at("metrics");
     const auto& names = campaign_metric_names();
-    for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
-      const JsonValue& summary = metrics.at(names[m]);
-      std::array<double, 4> v;
-      for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
-        v[p] = summary.as_double(kSummaryParts[p]);
-      }
-      r.metrics[m] = summary_from(v);
+    const auto read_metrics =
+        [&](const JsonValue& metrics,
+            std::array<MetricSummary, kNumCampaignMetrics>& out) {
+          for (std::size_t m = 0; m < kNumCampaignMetrics; ++m) {
+            const JsonValue& summary = metrics.at(names[m]);
+            std::array<double, 4> v;
+            for (std::size_t p = 0; p < kSummaryParts.size(); ++p) {
+              v[p] = summary.as_double(kSummaryParts[p]);
+            }
+            out[m] = summary_from(v);
+          }
+        };
+    read_metrics(obj.at("metrics"), r.metrics);
+    // Optional for pre-weighted files (absent means uniform weights, where
+    // the weighted metrics equal the unweighted ones).
+    if (const JsonValue* wm = obj.find("weighted_metrics")) {
+      read_metrics(*wm, r.weighted_metrics);
+    } else {
+      r.weighted_metrics = r.metrics;
     }
     rows.push_back(std::move(r));
   }

@@ -21,27 +21,54 @@ namespace sbgp::sim {
 
 // --- per-trial rows --------------------------------------------------------
 
-/// Column names of the per-trial row schema in serialization order — the
-/// CSV header fields / JSON object keys. Shared by the writers, the
-/// header-checking readers, and the baseline differ (campaign_diff.h).
+// The per-trial schema has two generations. The legacy one carries the 8
+// identity columns plus the 31 unweighted counters; the weighted one
+// appends `weight` (sum of pair weights — the weighted `pairs`) and a
+// `w_`-prefixed mirror of every analysis counter. Writers emit the legacy
+// layout whenever every row is uniform-weight (so existing baselines and
+// cache entries stay byte-identical) and the weighted layout otherwise;
+// readers accept both, reconstructing the mirrors (weight = pairs,
+// w_X = X) from legacy files — which is exactly what those files mean.
+
+/// Column names of the FULL per-trial row schema (weighted generation) in
+/// serialization order — the CSV header fields / JSON object keys. Shared
+/// by the writers, the header-checking readers, and the baseline differ
+/// (campaign_diff.h). The legacy generation is a strict prefix.
 [[nodiscard]] const std::vector<std::string>& trial_row_columns();
 
 /// One row's values as strings aligned with trial_row_columns(): exactly
-/// the fields write_trial_rows_csv emits (integer counters in exact
-/// decimal), so two rows are byte-identical in serialized form iff their
-/// value vectors are equal.
+/// the fields write_trial_rows_csv emits in weighted form (integer
+/// counters in exact decimal), so two rows are byte-identical in
+/// serialized form iff their value vectors are equal.
 [[nodiscard]] std::vector<std::string> trial_row_values(
     const CampaignTrialRow& row);
 
+/// True iff the row's weighted mirrors say exactly what a weight-1 model
+/// produces: weight == pairs and every w_ counter equals its unweighted
+/// counterpart. Such rows serialize in the legacy layout.
+[[nodiscard]] bool is_uniform_weight(const CampaignTrialRow& row);
+
+/// Auto-detecting writer: legacy layout iff every row is_uniform_weight.
 void write_trial_rows_csv(std::ostream& os,
                           const std::vector<CampaignTrialRow>& rows);
-/// Parses what write_trial_rows_csv produced. Throws std::invalid_argument
-/// on a header mismatch or malformed row.
+/// Explicit-generation writer (matches TrialRowCsvAppender(os, weighted)),
+/// for callers that must fix the layout before seeing the rows — e.g. a
+/// streaming sink whose file must stay byte-identical to the end-of-run
+/// writer's. Throws std::logic_error if a non-uniform row meets
+/// weighted == false.
+void write_trial_rows_csv(std::ostream& os,
+                          const std::vector<CampaignTrialRow>& rows,
+                          bool weighted);
+/// Parses either generation write_trial_rows_csv produces. Throws
+/// std::invalid_argument on a header mismatch or malformed row.
 [[nodiscard]] std::vector<CampaignTrialRow> read_trial_rows_csv(
     std::istream& is);
 
 void write_trial_rows_json(std::ostream& os,
                            const std::vector<CampaignTrialRow>& rows);
+void write_trial_rows_json(std::ostream& os,
+                           const std::vector<CampaignTrialRow>& rows,
+                           bool weighted);
 [[nodiscard]] std::vector<CampaignTrialRow> read_trial_rows_json(
     std::istream& is);
 
@@ -52,11 +79,16 @@ void write_trial_rows_json(std::ostream& os,
 /// on this class). The stream must outlive the appender.
 class TrialRowCsvAppender {
  public:
-  explicit TrialRowCsvAppender(std::ostream& os);
+  /// `weighted` picks the schema generation up front (the header precedes
+  /// every row): false = legacy columns, true = the full weighted layout.
+  /// Appending a non-uniform-weight row to a legacy appender throws
+  /// std::logic_error — silently dropping the mirrors would lose data.
+  explicit TrialRowCsvAppender(std::ostream& os, bool weighted = false);
   void append(const CampaignTrialRow& row);
 
  private:
   std::ostream* os_;
+  bool weighted_;
 };
 
 /// Streaming per-trial JSON sink: "[" at construction, one array element
@@ -66,12 +98,15 @@ class TrialRowCsvAppender {
 /// short one). Byte-identical to write_trial_rows_json over the same rows.
 class TrialRowJsonAppender {
  public:
-  explicit TrialRowJsonAppender(std::ostream& os);
+  /// `weighted` as in TrialRowCsvAppender: element keys are fixed per
+  /// file, and a non-uniform row in legacy mode throws std::logic_error.
+  explicit TrialRowJsonAppender(std::ostream& os, bool weighted = false);
   void append(const CampaignTrialRow& row);
   void finish();
 
  private:
   std::ostream* os_;
+  bool weighted_ = false;
   std::string pending_;  // previous element, held back until we know
                          // whether a comma or the closing bracket follows
   bool any_ = false;
@@ -80,11 +115,15 @@ class TrialRowJsonAppender {
 
 // --- aggregated rows -------------------------------------------------------
 
-// The aggregated schema has grown twice: `failed_trials` (always 0 for a
-// clean run) and `stopping_reason` ("fixed" / "converged" / "budget" —
-// the adaptive-stopping outcome, sim::StoppingReason). The readers accept
-// all three header generations; absent columns default to 0 / kFixed,
-// which is exactly what files written before the columns existed mean.
+// The aggregated schema has grown three times: `failed_trials` (always 0
+// for a clean run), `stopping_reason` ("fixed" / "converged" / "budget" —
+// the adaptive-stopping outcome, sim::StoppingReason), and the
+// traffic-weighted metric summaries (`w_<metric>_<part>` columns / the
+// "weighted_metrics" JSON object). The writers always emit the newest
+// generation; the readers accept all four. Absent columns default to
+// 0 / kFixed / weighted_metrics = metrics, which is exactly what files
+// written before each column existed mean (older files were all
+// uniform-weight, where the weighted metrics equal the unweighted ones).
 
 void write_campaign_rows_csv(std::ostream& os,
                              const std::vector<CampaignRow>& rows);

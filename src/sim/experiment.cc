@@ -6,6 +6,7 @@
 
 #include "sim/runner.h"
 #include "util/hash.h"
+#include "util/rng.h"
 
 namespace sbgp::sim {
 
@@ -49,6 +50,10 @@ std::uint64_t spec_fingerprint(const ExperimentSpec& spec) {
   return fp.mix(static_cast<std::uint64_t>(spec.num_attackers))
       .mix(static_cast<std::uint64_t>(spec.num_destinations))
       .mix(spec.sample_seed)
+      .mix(static_cast<std::uint64_t>(spec.traffic.kind))
+      .mix(spec.traffic.seed)
+      .mix(spec.traffic.max_mass)
+      .mix(spec.traffic.scale)
       .value();
 }
 
@@ -80,15 +85,23 @@ ResolvedExperiment ExperimentResolver::resolve(const ExperimentSpec& spec) {
   }
   const deployment::RolloutStep& step = steps[index];
 
+  validate_traffic_model(spec.traffic);
+
   ResolvedExperiment re;
+  // Salt 0 (every generated topology) keeps the historical sampling seeds
+  // bit for bit; a file-backed topology's per-trial salt perturbs them so
+  // repeated trials on the same graph draw fresh pairs.
+  const std::uint64_t effective_seed =
+      sample_salt_ == 0 ? spec.sample_seed
+                        : util::splitmix64(spec.sample_seed ^ sample_salt_);
   re.attackers = !spec.attackers.empty()
                      ? spec.attackers
                      : sample_ases(non_stub_ases(g_), spec.num_attackers,
-                                   spec.sample_seed);
+                                   effective_seed);
   re.destinations = !spec.destinations.empty()
                         ? spec.destinations
                         : sample_ases(all_ases(g_), spec.num_destinations,
-                                      spec.sample_seed + 1);
+                                      effective_seed + 1);
   if (re.attackers.empty() || re.destinations.empty() ||
       (re.attackers.size() == 1 && re.destinations.size() == 1 &&
        re.attackers.front() == re.destinations.front())) {
@@ -101,6 +114,7 @@ ResolvedExperiment ExperimentResolver::resolve(const ExperimentSpec& spec) {
   re.cfg.lp = spec.lp;
   re.cfg.hysteresis = spec.hysteresis;
   re.deployment = &step.deployment;
+  re.traffic = spec.traffic;
 
   re.header.label = spec.label.empty() ? compose_label(spec, step) : spec.label;
   re.header.step_label = step.label;
@@ -122,9 +136,11 @@ std::vector<ExperimentRow> run_experiment_suite(
   for (const auto& spec : specs) {
     ResolvedExperiment re = resolver.resolve(spec);
     ExperimentRow row = std::move(re.header);
-    row.stats = analyze_sweep(g, make_sweep_plan(re.attackers, re.destinations),
-                              re.cfg, *re.deployment, opts)
-                    .total;
+    row.stats =
+        analyze_sweep(
+            g, make_sweep_plan(re.attackers, re.destinations, re.traffic),
+            re.cfg, *re.deployment, opts)
+            .total;
     rows.push_back(std::move(row));
   }
   return rows;

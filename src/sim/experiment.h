@@ -21,6 +21,7 @@
 #include "deployment/scenario.h"
 #include "routing/model.h"
 #include "sim/pair_analysis.h"
+#include "sim/traffic.h"
 #include "topology/as_graph.h"
 #include "topology/tier.h"
 
@@ -55,6 +56,12 @@ struct ExperimentSpec {
   std::size_t num_attackers = 40;
   std::size_t num_destinations = 40;
   std::uint64_t sample_seed = 4242;
+
+  // --- traffic ----------------------------------------------------------
+  /// Per-pair weight model feeding the w_* mirrors of PairStats. The
+  /// default (uniform, scale 1) reproduces the classic unweighted sweep
+  /// bit for bit.
+  TrafficModel traffic;
 };
 
 /// Stable 64-bit fingerprint of an experiment spec (util::Fingerprint over
@@ -88,6 +95,7 @@ struct ResolvedExperiment {
   const Deployment* deployment = nullptr;
   std::vector<AsId> attackers;
   std::vector<AsId> destinations;
+  TrafficModel traffic;
   ExperimentRow header;
 };
 
@@ -97,8 +105,15 @@ struct ResolvedExperiment {
 /// multi-topology campaign driver (sim/campaign.h).
 class ExperimentResolver {
  public:
-  ExperimentResolver(const AsGraph& g, const topology::TierInfo& tiers)
-      : g_(g), tiers_(tiers) {}
+  /// `sample_salt` perturbs the pair-sampling seeds: 0 (the default, used
+  /// by every generated topology) samples with spec.sample_seed exactly as
+  /// before; a non-zero salt — file-backed topologies pass their per-trial
+  /// seed — mixes it into the effective seed so campaigns on a fixed graph
+  /// still draw fresh pairs every trial.
+  explicit ExperimentResolver(const AsGraph& g,
+                              const topology::TierInfo& tiers,
+                              std::uint64_t sample_salt = 0)
+      : g_(g), tiers_(tiers), sample_salt_(sample_salt) {}
 
   ExperimentResolver(const ExperimentResolver&) = delete;
   ExperimentResolver& operator=(const ExperimentResolver&) = delete;
@@ -113,6 +128,7 @@ class ExperimentResolver {
  private:
   const AsGraph& g_;
   const topology::TierInfo& tiers_;
+  std::uint64_t sample_salt_ = 0;
   std::map<std::pair<std::string, deployment::StubMode>,
            std::vector<deployment::RolloutStep>>
       rollouts_;

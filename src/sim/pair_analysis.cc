@@ -73,6 +73,21 @@ SweepPlan make_sweep_plan(const std::vector<AsId>& attackers,
   return plan;
 }
 
+SweepPlan make_sweep_plan(const std::vector<AsId>& attackers,
+                          const std::vector<AsId>& destinations,
+                          const TrafficModel& traffic) {
+  validate_traffic_model(traffic);
+  SweepPlan plan = make_sweep_plan(attackers, destinations);
+  if (traffic.is_trivial()) return plan;
+  for (auto& grp : plan.groups) {
+    grp.weights.reserve(grp.attackers.size());
+    for (const AsId m : grp.attackers) {
+      grp.weights.push_back(pair_weight(traffic, m, grp.destination));
+    }
+  }
+  return plan;
+}
+
 std::uint64_t next_sweep_context() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -81,7 +96,8 @@ std::uint64_t next_sweep_context() {
 void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
                           const PairAnalysisConfig& cfg, const Deployment& dep,
                           routing::EngineWorkspace& ws,
-                          std::uint64_t sweep_context, PairStats& acc) {
+                          std::uint64_t sweep_context, std::uint64_t weight,
+                          PairStats& acc) {
   if (cfg.analyses.empty()) {
     throw std::invalid_argument("accumulate_pair_into: empty analysis set");
   }
@@ -90,6 +106,7 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
         "accumulate_pair_into: attacker == destination");
   }
   ++acc.pairs;
+  acc.weight += weight;
 
   // Per-destination baseline cache. A hit requires the exact (token, d)
   // pair; the token is minted per sweep, so deployments, configs and
@@ -161,7 +178,10 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
   if (wants_partitions) {
     partition.emplace(g, d, m, cfg.model, cfg.lp, ws);
     po.partition = &*partition;
-    security::accumulate_into(po, acc.partitions);
+    security::PartitionCounts local;
+    security::accumulate_into(po, local);
+    acc.partitions += local;
+    acc.w_partitions.add_scaled(local, weight);
   }
   if (wants_downgrades && (!partition || !lp_standard)) {
     // The downgrade immunity check always uses the standard LP ladder
@@ -200,17 +220,29 @@ void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
   }
 
   if (cfg.analyses.contains(Analysis::kHappiness)) {
-    security::accumulate_into(po, acc.happiness);
+    security::HappyTotals local;
+    security::accumulate_into(po, local);
+    acc.happiness += local;
+    acc.w_happiness.add_scaled(local, weight);
   }
   if (wants_downgrades) {
     po.partition = &*partition;
-    security::accumulate_into(po, acc.downgrades);
+    security::DowngradeStats local;
+    security::accumulate_into(po, local);
+    acc.downgrades += local;
+    acc.w_downgrades.add_scaled(local, weight);
   }
   if (cfg.analyses.contains(Analysis::kCollateral)) {
-    security::accumulate_into(po, acc.collateral);
+    security::CollateralStats local;
+    security::accumulate_into(po, local);
+    acc.collateral += local;
+    acc.w_collateral.add_scaled(local, weight);
   }
   if (cfg.analyses.contains(Analysis::kRootCause)) {
-    security::accumulate_into(po, acc.root_causes);
+    security::RootCauseStats local;
+    security::accumulate_into(po, local);
+    acc.root_causes += local;
+    acc.w_root_causes.add_scaled(local, weight);
   }
 }
 
@@ -227,6 +259,10 @@ SweepResult analyze_sweep(const AsGraph& g, const SweepPlan& plan,
         throw std::invalid_argument(
             "analyze_sweep: group attackers contain the destination");
       }
+    }
+    if (!grp.weights.empty() && grp.weights.size() != grp.attackers.size()) {
+      throw std::invalid_argument(
+          "analyze_sweep: group weights do not match its attackers");
     }
     pairs += grp.attackers.size();
   }
@@ -270,8 +306,9 @@ SweepResult analyze_sweep(const AsGraph& g, const SweepPlan& plan,
         routing::EngineWorkspace& ws = exec.workspace(worker);
         PairStats& acc = accs[worker][u.group];
         for (std::size_t k = u.begin; k < u.end; ++k) {
+          const std::uint64_t w = grp.weights.empty() ? 1 : grp.weights[k];
           accumulate_pair_into(g, grp.destination, grp.attackers[k], cfg, dep,
-                               ws, token, acc);
+                               ws, token, w, acc);
         }
       },
       workers);

@@ -44,6 +44,7 @@
 #include "security/happiness.h"
 #include "security/partition.h"
 #include "security/rootcause.h"
+#include "sim/traffic.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::routing {
@@ -125,6 +126,12 @@ struct PairAnalysisConfig {
 /// Accumulated statistics of every analysis over a set of pairs. Only the
 /// members of the selected analyses are populated; all counters are exact
 /// integers, so merging per-worker partials is thread-count-independent.
+///
+/// Every analysis is accumulated twice: the classic pair-counted totals
+/// and a traffic-weighted mirror (w_*) where each pair contributes its
+/// sim/traffic.h weight-many copies. `weight` is the sum of pair weights —
+/// the weighted analogue of `pairs`. Under a weight-1 model the mirrors
+/// are bit-for-bit copies of the unweighted counters.
 struct PairStats {
   std::size_t pairs = 0;
   security::HappyTotals happiness;
@@ -133,6 +140,13 @@ struct PairStats {
   security::CollateralStats collateral;
   security::RootCauseStats root_causes;
 
+  std::size_t weight = 0;  // sum of pair weights
+  security::HappyTotals w_happiness;
+  security::PartitionCounts w_partitions;
+  security::DowngradeStats w_downgrades;
+  security::CollateralStats w_collateral;
+  security::RootCauseStats w_root_causes;
+
   PairStats& operator+=(const PairStats& o) {
     pairs += o.pairs;
     happiness += o.happiness;
@@ -140,6 +154,12 @@ struct PairStats {
     downgrades += o.downgrades;
     collateral += o.collateral;
     root_causes += o.root_causes;
+    weight += o.weight;
+    w_happiness += o.w_happiness;
+    w_partitions += o.w_partitions;
+    w_downgrades += o.w_downgrades;
+    w_collateral += o.w_collateral;
+    w_root_causes += o.w_root_causes;
     return *this;
   }
   [[nodiscard]] bool operator==(const PairStats&) const = default;
@@ -166,6 +186,10 @@ struct DestinationGroup {
   AsId destination = routing::kNoAs;
   std::size_t dest_index = 0;  // index in the sampled destination set
   std::vector<AsId> attackers;
+  /// Per-pair traffic weights, parallel to `attackers`. Empty means every
+  /// pair weighs 1 (the classic unweighted sweep); otherwise the size must
+  /// match `attackers` (analyze_sweep throws on a mismatch).
+  std::vector<std::uint64_t> weights;
 };
 
 /// A pair sweep, grouped by destination. Groups keep the destination
@@ -188,6 +212,15 @@ struct SweepPlan {
 [[nodiscard]] SweepPlan make_sweep_plan(const std::vector<AsId>& attackers,
                                         const std::vector<AsId>& destinations);
 
+/// Traffic-weighted variant: additionally fills each group's `weights` with
+/// pair_weight(traffic, attacker, destination). When the model is trivial
+/// (uniform, scale 1) the weights stay empty, so the plan — and everything
+/// downstream — is bit-for-bit the unweighted plan. Throws
+/// std::invalid_argument on an invalid traffic model or an empty pair set.
+[[nodiscard]] SweepPlan make_sweep_plan(const std::vector<AsId>& attackers,
+                                        const std::vector<AsId>& destinations,
+                                        const TrafficModel& traffic);
+
 /// Mints a fresh sweep-context token (process-wide, never 0, never
 /// reused). Pass it to accumulate_pair_into for every pair of one
 /// (deployment, config, destination-grouped) sweep to activate the
@@ -208,18 +241,33 @@ struct SweepPlan {
 /// incrementally. The caller must mint a fresh token whenever the graph,
 /// deployment or config changes; results are bit-for-bit identical either
 /// way.
+/// Traffic-weighted variant: the pair additionally contributes `weight`
+/// copies of its per-analysis counts to the w_* mirrors (and `weight` to
+/// acc.weight). The unweighted counters are accumulated identically to the
+/// unweighted overload — a weight-1 call leaves acc bit-for-bit as if the
+/// unweighted overload had run with mirrors kept equal.
 void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
                           const PairAnalysisConfig& cfg, const Deployment& dep,
                           routing::EngineWorkspace& ws,
-                          std::uint64_t sweep_context, PairStats& acc);
+                          std::uint64_t sweep_context, std::uint64_t weight,
+                          PairStats& acc);
 
-/// Uncached convenience overload (sweep_context = 0).
+/// Unit-weight overload.
+inline void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
+                                 const PairAnalysisConfig& cfg,
+                                 const Deployment& dep,
+                                 routing::EngineWorkspace& ws,
+                                 std::uint64_t sweep_context, PairStats& acc) {
+  accumulate_pair_into(g, d, m, cfg, dep, ws, sweep_context, 1, acc);
+}
+
+/// Uncached convenience overload (sweep_context = 0, weight 1).
 inline void accumulate_pair_into(const AsGraph& g, AsId d, AsId m,
                                  const PairAnalysisConfig& cfg,
                                  const Deployment& dep,
                                  routing::EngineWorkspace& ws,
                                  PairStats& acc) {
-  accumulate_pair_into(g, d, m, cfg, dep, ws, 0, acc);
+  accumulate_pair_into(g, d, m, cfg, dep, ws, 0, 1, acc);
 }
 
 /// Worker cap / executor choice for a batch call (shared by the runners,

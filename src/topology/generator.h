@@ -71,6 +71,12 @@ struct GeneratedTopology {
   std::vector<AsId> tier2;
   std::vector<AsId> tier3;
   std::vector<AsId> content_providers;
+  /// Per-trial pair-sampling salt, 0 for generated graphs (each trial's
+  /// fresh graph already decorrelates samples). File-backed registry
+  /// entries (topology/registry.h) reuse one fixed graph across trials and
+  /// set this to the trial seed, so ExperimentResolver draws a different
+  /// deterministic pair sample per trial.
+  std::uint64_t sample_salt = 0;
 
   /// Classifies with the ground-truth CP list.
   [[nodiscard]] TierInfo classify() const {

@@ -1,9 +1,13 @@
 #include "topology/io.h"
 
+#include <algorithm>
+#include <charconv>
 #include <fstream>
-#include <sstream>
+#include <map>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 
 namespace sbgp::topology {
 
@@ -14,6 +18,34 @@ struct RawEdge {
   std::int64_t b = 0;
   int rel = 0;  // -1 = a provides for b; 0 = peers
 };
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("read_as_rel: line " + std::to_string(lineno) +
+                           ": " + what);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::int64_t parse_int(std::string_view field, std::size_t lineno,
+                       std::string_view line) {
+  const std::string_view f = trim(field);
+  std::int64_t v = 0;
+  const char* last = f.data() + f.size();
+  const auto res = std::from_chars(f.data(), last, v);
+  if (f.empty() || res.ec != std::errc() || res.ptr != last) {
+    fail(lineno, "malformed row '" + std::string(line) +
+                     "' (expected <as1>|<as2>|<rel>)");
+  }
+  return v;
+}
 
 }  // namespace
 
@@ -27,31 +59,59 @@ AsRelData read_as_rel(std::istream& in) {
     if (inserted) asn.push_back(raw);
     return it->second;
   };
+  // First-seen line of every unordered AS pair: a later row naming the same
+  // pair — identical, reversed, or with a different relationship — is
+  // rejected with both line numbers, before AsGraphBuilder ever sees it.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> first_line;
 
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line.front() == '#') continue;
-    std::istringstream ls(line);
-    RawEdge e;
-    char sep1 = 0;
-    char sep2 = 0;
-    if (!(ls >> e.a >> sep1 >> e.b >> sep2 >> e.rel) || sep1 != '|' ||
-        sep2 != '|') {
-      // Retry with no spaces around '|' (the canonical format).
-      std::int64_t a = 0;
-      std::int64_t b = 0;
-      int rel = 0;
-      if (std::sscanf(line.c_str(), "%ld|%ld|%d", &a, &b, &rel) != 3) {
-        throw std::runtime_error("read_as_rel: malformed line " +
-                                 std::to_string(lineno) + ": " + line);
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+
+    // Split on '|': exactly <as1>|<as2>|<rel>, plus an optional fourth
+    // field CAIDA's serial-2 files append (the relationship's source,
+    // e.g. "bgp") which is ignored.
+    std::string_view rest = line;
+    std::string_view fields[4];
+    std::size_t num_fields = 0;
+    for (;;) {
+      const std::size_t bar = rest.find('|');
+      if (num_fields == 4) {
+        fail(lineno, "malformed row '" + line +
+                         "' (expected <as1>|<as2>|<rel>)");
       }
-      e = {a, b, rel};
+      fields[num_fields++] = rest.substr(0, bar);
+      if (bar == std::string_view::npos) break;
+      rest.remove_prefix(bar + 1);
     }
-    if (e.rel != -1 && e.rel != 0) {
-      throw std::runtime_error("read_as_rel: unknown relationship on line " +
-                               std::to_string(lineno));
+    if (num_fields < 3) {
+      fail(lineno,
+           "malformed row '" + line + "' (expected <as1>|<as2>|<rel>)");
+    }
+
+    RawEdge e;
+    e.a = parse_int(fields[0], lineno, line);
+    e.b = parse_int(fields[1], lineno, line);
+    const std::int64_t rel = parse_int(fields[2], lineno, line);
+    if (rel != -1 && rel != 0) {
+      fail(lineno, "unknown relationship code " + std::to_string(rel) +
+                       " (expected -1 provider-to-customer or 0 peer)");
+    }
+    e.rel = static_cast<int>(rel);
+    if (e.a == e.b) {
+      fail(lineno, "self-loop on AS " + std::to_string(e.a));
+    }
+    const auto [lo, hi] = std::minmax(e.a, e.b);
+    const auto [it, inserted] = first_line.try_emplace({lo, hi}, lineno);
+    if (!inserted) {
+      fail(lineno, "duplicate edge between AS " + std::to_string(e.a) +
+                       " and AS " + std::to_string(e.b) +
+                       " (first declared on line " + std::to_string(it->second) +
+                       ")");
     }
     intern(e.a);
     intern(e.b);

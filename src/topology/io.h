@@ -1,11 +1,19 @@
 // CAIDA "as-rel" style serialization so real AS-relationship datasets can be
 // swapped in for the synthetic topology.
 //
-// Format (one relationship per line, '#' comments ignored):
+// Format (one relationship per line, '#' comments and blank lines ignored):
 //   <provider-asn>|<customer-asn>|-1
 //   <peer-asn>|<peer-asn>|0
-// ASNs in files are arbitrary; on load they are remapped to dense AsIds and
-// the original numbers are retained for round-tripping.
+// A fourth |-separated field (CAIDA serial-2's source annotation, e.g.
+// "bgp") is accepted and ignored. ASNs in files are arbitrary; on load they
+// are remapped to dense AsIds in first-appearance order and the original
+// numbers are retained for round-tripping. The parser is strict: malformed
+// rows, unknown relationship codes, self-loops, and duplicate declarations
+// of the same AS pair (identical, reversed, or conflicting) are rejected
+// with std::runtime_error messages naming the offending line number — and,
+// for duplicates, the line of the first declaration. Customer->provider
+// cycles are rejected by AsGraphBuilder::build with one concrete cycle
+// spelled out in dense ids.
 #ifndef SBGP_TOPOLOGY_IO_H
 #define SBGP_TOPOLOGY_IO_H
 

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/hash.h"
 #include "util/rng.h"
@@ -48,6 +53,18 @@ const std::vector<TopologyDef>& registry() {
 std::string known_names() {
   return util::comma_join(registry(),
                           [](const TopologyDef& def) { return def.name; });
+}
+
+/// Mutable store of file-backed entries, guarded by one mutex. Entries are
+/// shared_ptr so lookups stay valid across a concurrent re-registration.
+struct FileRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<const FileTopologyDef>> entries;
+};
+
+FileRegistry& file_registry() {
+  static FileRegistry reg;
+  return reg;
 }
 
 }  // namespace
@@ -130,9 +147,90 @@ std::uint64_t trial_seed(std::uint64_t campaign_seed, std::string_view topology,
 GeneratedTopology generate_trial(std::string_view name,
                                  std::uint64_t campaign_seed,
                                  std::uint64_t trial) {
+  if (const auto file = find_topology_file(name)) {
+    // File-backed trials share the one loaded graph; only the pair-sample
+    // salt varies per trial. Tiers are recovered by classify() from the
+    // graph alone (no ground-truth CP list exists for a real dataset).
+    GeneratedTopology t;
+    t.graph = file->data->graph;
+    t.sample_salt = trial_seed(campaign_seed, name, trial);
+    return t;
+  }
   GeneratorParams params = topology_params(name);
   params.seed = trial_seed(campaign_seed, name, trial);
   return generate_internet(params);
+}
+
+std::uint64_t register_topology_file(const std::string& name,
+                                     const std::string& path) {
+  if (find_topology(name) != nullptr) {
+    throw std::invalid_argument(
+        "register_topology_file: '" + name +
+        "' collides with a generated registry entry; available generated "
+        "names: " +
+        known_names());
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("register_topology_file: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  auto def = std::make_shared<FileTopologyDef>();
+  def->name = name;
+  def->path = path;
+  // The fingerprint is over the exact bytes that are parsed below — one
+  // read, so hash and graph can never disagree about the file's state.
+  def->content_fingerprint = util::fnv1a(content);
+  std::istringstream stream(content);
+  def->data = std::make_shared<const AsRelData>(read_as_rel(stream));
+
+  FileRegistry& reg = file_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& entry : reg.entries) {
+    if (entry->name == name) {
+      entry = std::move(def);
+      return entry->content_fingerprint;
+    }
+  }
+  reg.entries.push_back(std::move(def));
+  return reg.entries.back()->content_fingerprint;
+}
+
+std::shared_ptr<const FileTopologyDef> find_topology_file(
+    std::string_view name) {
+  FileRegistry& reg = file_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& entry : reg.entries) {
+    if (entry->name == name) return entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> file_topology_names() {
+  FileRegistry& reg = file_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.entries.size());
+  for (const auto& entry : reg.entries) names.push_back(entry->name);
+  return names;
+}
+
+std::uint64_t topology_fingerprint(std::string_view name) {
+  if (const auto file = find_topology_file(name)) {
+    return file->content_fingerprint;
+  }
+  if (const TopologyDef* def = find_topology(name)) {
+    return spec_fingerprint(def->params);
+  }
+  std::string file_names = util::comma_join(
+      file_topology_names(), [](const std::string& n) { return n; });
+  throw std::invalid_argument(
+      "topology_fingerprint: unknown topology '" + std::string(name) +
+      "'; generated: " + known_names() + "; file-backed: " +
+      (file_names.empty() ? "(none registered)" : file_names));
 }
 
 }  // namespace sbgp::topology

@@ -11,10 +11,13 @@
 #define SBGP_TOPOLOGY_REGISTRY_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "topology/generator.h"
+#include "topology/io.h"
 
 namespace sbgp::topology {
 
@@ -67,11 +70,55 @@ struct TopologyDef {
                                        std::string_view topology,
                                        std::uint64_t trial);
 
-/// Generates trial `trial` of the named topology: topology_params(name)
-/// with seed = trial_seed(campaign_seed, name, trial).
+/// Generates trial `trial` of the named topology. For a generated entry:
+/// topology_params(name) with seed = trial_seed(campaign_seed, name, trial).
+/// For a file-backed entry (register_topology_file): the loaded graph —
+/// identical every trial — with sample_salt = trial_seed(...), so each
+/// trial draws a different deterministic pair sample from the one real
+/// graph instead of a fresh synthetic one.
 [[nodiscard]] GeneratedTopology generate_trial(std::string_view name,
                                                std::uint64_t campaign_seed,
                                                std::uint64_t trial);
+
+// --- file-backed entries ---------------------------------------------------
+//
+// Real AS-relationship datasets (CAIDA serial-2 files, topology/io.h) enter
+// the same campaign machinery as first-class registry entries. Their
+// fingerprint is the FNV-1a hash of the file's *content* bytes — not the
+// path — so campaign caching, sharding and campaign_diff behave exactly as
+// for generated topologies: edit one byte of the file and every cache key
+// changes; copy the file elsewhere and cached cells still hit.
+
+/// A registered file-backed topology: the loaded graph (shared, immutable)
+/// plus its provenance.
+struct FileTopologyDef {
+  std::string name;
+  std::string path;                       // as registered, for diagnostics
+  std::uint64_t content_fingerprint = 0;  // fnv1a over the raw file bytes
+  std::shared_ptr<const AsRelData> data;
+};
+
+/// Loads `path` (read_as_rel_file semantics — throws std::runtime_error on
+/// unreadable or malformed input) and registers it under `name`. Returns
+/// the content fingerprint. Re-registering a name replaces the previous
+/// entry (re-reading a file that changed on disk); a name colliding with a
+/// generated registry entry throws std::invalid_argument.
+std::uint64_t register_topology_file(const std::string& name,
+                                     const std::string& path);
+
+/// The registered file-backed entry, or nullptr. The returned pointer's
+/// data stays valid even if the name is later re-registered.
+[[nodiscard]] std::shared_ptr<const FileTopologyDef> find_topology_file(
+    std::string_view name);
+
+/// Names of every registered file-backed topology, in registration order.
+[[nodiscard]] std::vector<std::string> file_topology_names();
+
+/// The topology half of a campaign cache key, for either kind of entry:
+/// spec_fingerprint(params) for a generated topology, the file content
+/// hash for a file-backed one. Throws std::invalid_argument listing both
+/// registries when `name` is unknown.
+[[nodiscard]] std::uint64_t topology_fingerprint(std::string_view name);
 
 }  // namespace sbgp::topology
 

@@ -142,6 +142,11 @@ TEST(SpecFingerprint, ExperimentSpecSensitiveToEveryField) {
       {"num_attackers", [](auto& s) { s.num_attackers += 1; }},
       {"num_destinations", [](auto& s) { s.num_destinations += 1; }},
       {"sample_seed", [](auto& s) { s.sample_seed += 1; }},
+      {"traffic.kind",
+       [](auto& s) { s.traffic.kind = TrafficModel::Kind::kGravity; }},
+      {"traffic.seed", [](auto& s) { s.traffic.seed += 1; }},
+      {"traffic.max_mass", [](auto& s) { s.traffic.max_mass *= 2; }},
+      {"traffic.scale", [](auto& s) { s.traffic.scale += 1; }},
   };
   for (const auto& [name, mutate] : mutators) {
     ExperimentSpec changed = base;
@@ -453,6 +458,63 @@ TEST(CampaignCache, CorruptedEntryIsRecomputedEndToEnd) {
   const CampaignResult warm2 = run_campaign(campaign);
   EXPECT_EQ(warm2.cache_hits, cells);
   EXPECT_EQ(warm2.trial_rows, cold.trial_rows);
+}
+
+TEST(CampaignCache, FileBackedTopologyKeysOnContentHash) {
+  // A file-backed topology's cache keys hang off the file's *content*
+  // fingerprint: a warm re-run of the unchanged file is fully served, a
+  // one-byte edit — even inside a comment — invalidates every cell, and
+  // reverting the edit brings the original cells back.
+  const TempDir dir;
+  const fs::path data = dir.path() / "mini.txt";
+  fs::create_directories(dir.path());
+  std::ifstream fixture(std::string(SBGP_TEST_DATA_DIR) + "/mini-caida.txt",
+                        std::ios::binary);
+  ASSERT_TRUE(fixture);
+  std::ostringstream buffer;
+  buffer << fixture.rdbuf();
+  const std::string original = buffer.str();
+  ASSERT_FALSE(original.empty());
+  const auto write_file = [&](const std::string& content) {
+    std::ofstream out(data, std::ios::binary);
+    out << content;
+  };
+  write_file(original);
+
+  const std::uint64_t fp =
+      topology::register_topology_file("cache-test-file", data.string());
+  EXPECT_EQ(fp, topology::topology_fingerprint("cache-test-file"));
+
+  CampaignSpec campaign = cached_campaign((dir.path() / "cache").string());
+  campaign.topology = "cache-test-file";
+  for (auto& spec : campaign.experiments) {
+    spec.num_attackers = 2;
+    spec.num_destinations = 2;
+  }
+  const std::size_t cells = campaign.trials * campaign.experiments.size();
+
+  const CampaignResult cold = run_campaign(campaign);
+  EXPECT_EQ(cold.cache_misses, cells);
+  const CampaignResult warm = run_campaign(campaign);
+  EXPECT_EQ(warm.cache_hits, cells);
+  EXPECT_EQ(warm.trial_rows, cold.trial_rows);
+
+  // One byte appended to a comment: same graph, different content hash.
+  write_file(original + "# x\n");
+  const std::uint64_t edited_fp =
+      topology::register_topology_file("cache-test-file", data.string());
+  EXPECT_NE(edited_fp, fp);
+  const CampaignResult edited = run_campaign(campaign);
+  EXPECT_EQ(edited.cache_hits, 0u);
+  EXPECT_EQ(edited.cache_misses, cells);
+
+  // Reverting restores the fingerprint, so the original cells hit again.
+  write_file(original);
+  EXPECT_EQ(topology::register_topology_file("cache-test-file", data.string()),
+            fp);
+  const CampaignResult reverted = run_campaign(campaign);
+  EXPECT_EQ(reverted.cache_hits, cells);
+  EXPECT_EQ(reverted.trial_rows, cold.trial_rows);
 }
 
 }  // namespace

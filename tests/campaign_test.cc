@@ -421,16 +421,19 @@ TEST(Campaign, AdaptiveConfigValidation) {
 }
 
 TEST(Campaign, AggregatedReadersAcceptLegacySchemas) {
-  // Three header generations are readable: no extra columns, then
-  // +failed_trials, then +stopping_reason. A fixed clean run writes
-  // failed_trials=0 and stopping_reason=fixed — exactly the defaults the
-  // readers fill in for the older schemas — so stripping those columns
-  // from current output must parse back to identical rows.
+  // Four header generations are readable: no extra columns, then
+  // +failed_trials, then +stopping_reason, then +the weighted metric
+  // columns. A fixed clean uniform-weight run writes failed_trials=0,
+  // stopping_reason=fixed and weighted metrics identical to the
+  // unweighted ones — exactly the defaults the readers fill in for the
+  // older schemas — so stripping those columns from current output must
+  // parse back to identical rows.
   const CampaignResult result = run_campaign(small_campaign(2));
   std::ostringstream csv;
   write_campaign_rows_csv(csv, result.rows);
 
-  const auto strip_csv_column = [](const std::string& text, std::size_t col) {
+  const auto strip_csv_columns = [](const std::string& text, std::size_t col,
+                                    std::size_t count) {
     std::istringstream in(text);
     std::ostringstream out;
     std::string line;
@@ -439,7 +442,8 @@ TEST(Campaign, AggregatedReadersAcceptLegacySchemas) {
       std::string field;
       std::istringstream ls(line);
       while (std::getline(ls, field, ',')) fields.push_back(field);
-      fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(col));
+      fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(col),
+                   fields.begin() + static_cast<std::ptrdiff_t>(col + count));
       for (std::size_t i = 0; i < fields.size(); ++i) {
         out << (i == 0 ? "" : ",") << fields[i];
       }
@@ -447,8 +451,14 @@ TEST(Campaign, AggregatedReadersAcceptLegacySchemas) {
     }
     return out.str();
   };
-  const std::string gen2 = strip_csv_column(csv.str(), 5);  // -stopping_reason
-  const std::string gen1 = strip_csv_column(gen2, 4);       // -failed_trials
+  // -the 9x4 weighted metric columns (they trail the schema)
+  const std::string gen3 =
+      strip_csv_columns(csv.str(), 6 + kNumCampaignMetrics * 4,
+                        kNumCampaignMetrics * 4);
+  const std::string gen2 = strip_csv_columns(gen3, 5, 1);  // -stopping_reason
+  const std::string gen1 = strip_csv_columns(gen2, 4, 1);  // -failed_trials
+  std::istringstream gen3_in(gen3);
+  EXPECT_EQ(read_campaign_rows_csv(gen3_in), result.rows);
   std::istringstream gen2_in(gen2);
   EXPECT_EQ(read_campaign_rows_csv(gen2_in), result.rows);
   std::istringstream gen1_in(gen1);
@@ -463,9 +473,30 @@ TEST(Campaign, AggregatedReadersAcceptLegacySchemas) {
     }
     return text;
   };
+  // Drop the whole weighted_metrics object: it starts at its key and ends
+  // at the matching close brace (no nested strings to worry about — the
+  // writer emits only metric names and numbers inside).
+  const auto strip_weighted_metrics = [](std::string text) {
+    const std::string key = ", \"weighted_metrics\": {";
+    for (std::size_t pos = text.find(key); pos != std::string::npos;
+         pos = text.find(key)) {
+      std::size_t end = pos + key.size();
+      int depth = 1;
+      while (end < text.size() && depth > 0) {
+        if (text[end] == '{') ++depth;
+        if (text[end] == '}') --depth;
+        ++end;
+      }
+      text.erase(pos, end - pos);
+    }
+    return text;
+  };
+  const std::string jgen3 = strip_weighted_metrics(json.str());
   const std::string jgen2 =
-      strip_json_key(json.str(), ", \"stopping_reason\": \"fixed\"");
+      strip_json_key(jgen3, ", \"stopping_reason\": \"fixed\"");
   const std::string jgen1 = strip_json_key(jgen2, ", \"failed_trials\": 0");
+  std::istringstream jgen3_in(jgen3);
+  EXPECT_EQ(read_campaign_rows_json(jgen3_in), result.rows);
   std::istringstream jgen2_in(jgen2);
   EXPECT_EQ(read_campaign_rows_json(jgen2_in), result.rows);
   std::istringstream jgen1_in(jgen1);

@@ -1,0 +1,238 @@
+// Golden-file suite for the CAIDA as-rel parser (topology/io.h) and the
+// file-backed registry entries built on it (topology/registry.h).
+//
+// The checked-in fixture tests/data/mini-caida.txt is a hand-built
+// serial-2 style snippet with a provider-free peering clique, two transit
+// tiers and a stub fringe — structured so classify_tiers finds every
+// bucket the campaign scenarios need. Its parse is pinned down to exact
+// counts and dense-id assignments; the rejection tests pin down the exact
+// line numbers the error messages name.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "topology/io.h"
+#include "topology/registry.h"
+#include "topology/tier.h"
+#include "util/hash.h"
+
+namespace sbgp::topology {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(SBGP_TEST_DATA_DIR) + "/" + name;
+}
+
+/// Runs `fn`, requires it to throw `E`, and returns the message.
+template <typename E = std::runtime_error, typename Fn>
+std::string message_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const E& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected exception";
+  return {};
+}
+
+AsRelData parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_as_rel(in);
+}
+
+/// Relationship edges as (low ASN, high ASN, provider ASN or -1 for peer):
+/// id-assignment-independent, so two AsRelData compare structurally.
+std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> edge_set(
+    const AsRelData& data) {
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> edges;
+  for (AsId v = 0; v < data.graph.num_ases(); ++v) {
+    for (const AsId c : data.graph.customers(v)) {
+      const auto [lo, hi] = std::minmax(data.asn[v], data.asn[c]);
+      edges.emplace(lo, hi, data.asn[v]);
+    }
+    for (const AsId u : data.graph.peers(v)) {
+      if (v < u) {
+        const auto [lo, hi] = std::minmax(data.asn[v], data.asn[u]);
+        edges.emplace(lo, hi, std::int64_t{-1});
+      }
+    }
+  }
+  return edges;
+}
+
+TEST(TopologyIo, MiniCaidaGolden) {
+  const AsRelData data = read_as_rel_file(data_path("mini-caida.txt"));
+  EXPECT_EQ(data.graph.num_ases(), 27u);
+  EXPECT_EQ(data.graph.num_customer_provider_links(), 31u);
+  EXPECT_EQ(data.graph.num_peer_links(), 12u);
+
+  // Dense ids follow first appearance: the clique heads the file.
+  ASSERT_EQ(data.asn.size(), 27u);
+  EXPECT_EQ(data.asn[0], 174);
+  EXPECT_EQ(data.asn[1], 3356);
+  EXPECT_EQ(data.asn[2], 1299);
+  EXPECT_EQ(data.asn[3], 2914);
+  EXPECT_EQ(data.asn[26], 65013);
+
+  // Spot-check relationships through the external-ASN lens.
+  const auto id_of = [&](std::int64_t asn) {
+    const auto it = std::find(data.asn.begin(), data.asn.end(), asn);
+    EXPECT_NE(it, data.asn.end()) << "ASN " << asn << " missing";
+    return static_cast<AsId>(it - data.asn.begin());
+  };
+  EXPECT_EQ(data.graph.relation(id_of(174), id_of(3356)), Relation::kPeer);
+  EXPECT_EQ(data.graph.relation(id_of(174), id_of(6939)),
+            Relation::kCustomer);  // 174 sees its customer 6939
+  EXPECT_EQ(data.graph.relation(id_of(6939), id_of(174)),
+            Relation::kProvider);
+  // The annotated fourth-field row parsed like any other.
+  EXPECT_EQ(data.graph.relation(id_of(174), id_of(65013)),
+            Relation::kCustomer);
+  // Clique members have no providers; stubs have no customers.
+  EXPECT_EQ(data.graph.provider_degree(id_of(174)), 0u);
+  EXPECT_TRUE(data.graph.is_stub(id_of(65001)));
+  EXPECT_FALSE(data.graph.is_stub(id_of(12389)));
+
+  // The fixture must feed the campaign scenarios: a non-empty T1 and T2
+  // from the graph-only classifier, and enough non-stubs for sampling.
+  const TierInfo tiers = classify_tiers(data.graph, {});
+  EXPECT_FALSE(tiers.bucket(Tier::kTier1).empty());
+  EXPECT_FALSE(tiers.bucket(Tier::kTier2).empty());
+  std::size_t non_stubs = 0;
+  for (AsId v = 0; v < data.graph.num_ases(); ++v) {
+    if (!data.graph.is_stub(v)) ++non_stubs;
+  }
+  EXPECT_GE(non_stubs, 4u);
+}
+
+TEST(TopologyIo, MiniCaidaRoundTrip) {
+  const AsRelData data = read_as_rel_file(data_path("mini-caida.txt"));
+  std::ostringstream out;
+  write_as_rel(out, data.graph, data.asn);
+  const AsRelData again = parse(out.str());
+  EXPECT_EQ(edge_set(again), edge_set(data));
+  // Another export/import leg changes dense-id assignment (export order
+  // interleaves a vertex's relations) but never the relationships.
+  std::ostringstream out2;
+  write_as_rel(out2, again.graph, again.asn);
+  EXPECT_EQ(edge_set(parse(out2.str())), edge_set(data));
+}
+
+TEST(TopologyIo, AcceptsCommentsBlanksAnnotationsAndCrLf) {
+  const AsRelData data = parse(
+      "# leading comment\r\n"
+      "\n"
+      "   \t  \n"
+      "1|2|-1|bgp\r\n"
+      "2|3|-1\n"
+      "# trailing comment\n");
+  EXPECT_EQ(data.graph.num_ases(), 3u);
+  EXPECT_EQ(data.graph.num_customer_provider_links(), 2u);
+}
+
+TEST(TopologyIo, RejectsMalformedRowsWithLineNumbers) {
+  // Too few fields (line 3, after a comment and a good row).
+  EXPECT_NE(message_of([] { (void)parse("# hdr\n1|2|0\n3|4\n"); })
+                .find("line 3: malformed row '3|4'"),
+            std::string::npos);
+  // Too many fields.
+  EXPECT_NE(message_of([] { (void)parse("1|2|0|bgp|extra\n"); })
+                .find("line 1: malformed row"),
+            std::string::npos);
+  // Non-numeric ASN.
+  EXPECT_NE(message_of([] { (void)parse("1|x|0\n"); })
+                .find("line 1: malformed row '1|x|0'"),
+            std::string::npos);
+  // Empty input is its own error.
+  EXPECT_NE(message_of([] { (void)parse("# only comments\n"); })
+                .find("empty input"),
+            std::string::npos);
+}
+
+TEST(TopologyIo, RejectsUnknownRelationshipCode) {
+  const std::string msg =
+      message_of([] { (void)parse("1|2|-1\n2|3|1\n"); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown relationship code 1"), std::string::npos)
+      << msg;
+}
+
+TEST(TopologyIo, RejectsSelfLoop) {
+  const std::string msg = message_of([] { (void)parse("1|2|0\n7|7|-1\n"); });
+  EXPECT_NE(msg.find("line 2: self-loop on AS 7"), std::string::npos) << msg;
+}
+
+TEST(TopologyIo, RejectsDuplicateEdgesNamingBothLines) {
+  // Identical repeat.
+  const std::string same =
+      message_of([] { (void)parse("1|2|-1\n3|4|0\n1|2|-1\n"); });
+  EXPECT_NE(same.find("line 3: duplicate edge between AS 1 and AS 2"),
+            std::string::npos)
+      << same;
+  EXPECT_NE(same.find("first declared on line 1"), std::string::npos) << same;
+  // Reversed direction is the same pair.
+  const std::string reversed =
+      message_of([] { (void)parse("1|2|-1\n2|1|-1\n"); });
+  EXPECT_NE(reversed.find("line 2: duplicate edge"), std::string::npos)
+      << reversed;
+  // Conflicting relationship on the same pair.
+  const std::string conflict =
+      message_of([] { (void)parse("1|2|-1\n1|2|0\n"); });
+  EXPECT_NE(conflict.find("line 2: duplicate edge"), std::string::npos)
+      << conflict;
+}
+
+TEST(TopologyIo, RejectsProviderCycleNamingIt) {
+  // 1 provides for 2, 2 for 3, 3 for 1: a customer->provider cycle.
+  const std::string msg = message_of<std::invalid_argument>(
+      [] { (void)parse("1|2|-1\n2|3|-1\n3|1|-1\n"); });
+  EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+  // One concrete cycle is spelled out as a -> chain returning to its head.
+  EXPECT_NE(msg.find(" -> "), std::string::npos) << msg;
+}
+
+TEST(TopologyIo, FileRegistryFingerprintIsContentHash) {
+  const std::string path = data_path("mini-caida.txt");
+  const std::uint64_t fp =
+      register_topology_file("io-test-mini", path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(fp, util::fnv1a(buffer.str()));
+  EXPECT_EQ(topology_fingerprint("io-test-mini"), fp);
+
+  const auto def = find_topology_file("io-test-mini");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->path, path);
+  EXPECT_EQ(def->data->graph.num_ases(), 27u);
+
+  // File-backed trials reuse the one graph but vary the pair-sample salt.
+  const GeneratedTopology t0 = generate_trial("io-test-mini", 1, 0);
+  const GeneratedTopology t1 = generate_trial("io-test-mini", 1, 1);
+  EXPECT_EQ(t0.graph.num_ases(), 27u);
+  EXPECT_EQ(t1.graph.num_ases(), 27u);
+  EXPECT_NE(t0.sample_salt, 0u);
+  EXPECT_NE(t0.sample_salt, t1.sample_salt);
+}
+
+TEST(TopologyIo, FileRegistryRejectsCollidingAndUnknownNames) {
+  EXPECT_THROW(register_topology_file("tiny-500", data_path("mini-caida.txt")),
+               std::invalid_argument);
+  EXPECT_THROW(register_topology_file("io-test-missing", data_path("nope.txt")),
+               std::runtime_error);
+  EXPECT_EQ(find_topology_file("io-test-missing"), nullptr);
+  EXPECT_THROW((void)topology_fingerprint("io-test-unregistered"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sbgp::topology

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (stdlib only, run with
+``python3 tools/bench_compare_test.py``).
+
+Drives the script as a subprocess — the same way CI invokes it — and pins
+down its contract: regression annotations past the threshold, the
+always-exit-0 trend-not-gate behavior, the missing-baseline first-run
+path, the (new)/(dropped) markers, and usage errors.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def trajectory(rates, rev="abc1234", workers=8, schema=1):
+    return {
+        "schema": schema,
+        "git_rev": rev,
+        "workers": workers,
+        "benchmarks": [
+            {"name": name, "items_per_second": rate}
+            for name, rate in rates.items()
+        ],
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, *args):
+        return subprocess.run(
+            [sys.executable, SCRIPT, *args],
+            capture_output=True, text=True, check=False)
+
+    def test_regression_past_threshold_warns_but_exits_zero(self):
+        prev = self.write("prev.json", trajectory({"route": 1000.0}))
+        cur = self.write("cur.json", trajectory({"route": 700.0}))
+        result = self.run_compare(prev, cur)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("::warning title=perf regression::route:", result.stdout)
+        self.assertIn("1000.0 -> 700.0 items/s", result.stdout)
+        self.assertIn("1 benchmark(s) regressed past 15%", result.stdout)
+
+    def test_within_threshold_is_clean(self):
+        prev = self.write("prev.json", trajectory({"route": 1000.0}))
+        cur = self.write("cur.json", trajectory({"route": 900.0}))
+        result = self.run_compare(prev, cur)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertNotIn("::warning", result.stdout)
+        self.assertIn("no regressions past threshold", result.stdout)
+
+    def test_threshold_flag_tightens_the_gate(self):
+        prev = self.write("prev.json", trajectory({"route": 1000.0}))
+        cur = self.write("cur.json", trajectory({"route": 900.0}))
+        result = self.run_compare(prev, cur, "--threshold", "5")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("::warning title=perf regression::route:", result.stdout)
+        self.assertIn("threshold -5%", result.stdout)
+
+    def test_missing_baseline_is_a_clean_first_run(self):
+        cur = self.write("cur.json", trajectory({"route": 700.0}))
+        missing = os.path.join(self.dir.name, "nope.json")
+        result = self.run_compare(missing, cur)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("no previous trajectory", result.stdout)
+        self.assertIn("first run", result.stdout)
+        self.assertNotIn("::warning", result.stdout)
+
+    def test_new_and_dropped_benchmarks_are_marked_not_gated(self):
+        prev = self.write("prev.json",
+                          trajectory({"old_bench": 500.0, "route": 1000.0}))
+        cur = self.write("cur.json",
+                         trajectory({"new_bench": 10.0, "route": 1000.0}))
+        result = self.run_compare(prev, cur)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("(new)", result.stdout)
+        self.assertIn("old_bench", result.stdout)
+        self.assertIn("(dropped from current run)", result.stdout)
+        # A tiny new benchmark is not a regression against nothing.
+        self.assertNotIn("::warning", result.stdout)
+
+    def test_zero_rate_entries_are_ignored(self):
+        # items_per_second 0 means "did not run"; it must neither divide
+        # by zero nor annotate.
+        prev = self.write("prev.json", trajectory({"route": 0.0}))
+        cur = self.write("cur.json", trajectory({"route": 700.0}))
+        result = self.run_compare(prev, cur)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("(new)", result.stdout)
+        self.assertNotIn("::warning", result.stdout)
+
+    def test_usage_error_exits_two(self):
+        result = self.run_compare("only-one-arg.json")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("bench_compare.py", result.stderr)
+
+    def test_unsupported_schema_fails_loudly(self):
+        prev = self.write("prev.json", trajectory({"route": 1.0}, schema=2))
+        cur = self.write("cur.json", trajectory({"route": 1.0}))
+        result = self.run_compare(prev, cur)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("unsupported schema", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
